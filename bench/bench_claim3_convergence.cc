@@ -1,0 +1,58 @@
+// Section VI / Claim 3: the DN-Graph iterative estimators converge to
+// exactly kappa(e) for every edge, while paying an iteration multiple that
+// Triangle K-Core avoids. This bench quantifies both halves of the claim:
+// agreement (must be 100%) and the per-iteration cost structure that
+// explains Table II's gap (the paper reports 66 iterations at 55 min each
+// for TriDN on Flickr).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tkc/baselines/dn_graph.h"
+#include "tkc/core/triangle_core.h"
+
+namespace tkc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  std::printf("=== Claim 3: TriDN/BiTriDN fixpoint == kappa(e) ===\n\n");
+
+  TablePrinter table({12, 10, 12, 12, 12, 12, 12});
+  table.Row({"dataset", "|E|", "tkc time", "tridn iters", "bitridn iters",
+             "agree(tri)", "agree(bi)"});
+  table.Rule();
+
+  for (const char* name : {"synthetic", "stocks", "ppi", "dblp", "astro"}) {
+    Dataset ds = MakeDataset(name, cfg.seed, cfg.size_factor);
+    const Graph& g = ds.graph;
+    Timer t;
+    TriangleCoreResult cores = ComputeTriangleCores(g);
+    double tkc_s = t.Seconds();
+    DnGraphResult tri = TriDn(g);
+    DnGraphResult bi = BiTriDn(g);
+
+    uint64_t agree_tri = 0, agree_bi = 0, edges = 0;
+    g.ForEachEdge([&](EdgeId e, const Edge&) {
+      ++edges;
+      agree_tri += (tri.lambda[e] == cores.kappa[e]);
+      agree_bi += (bi.lambda[e] == cores.kappa[e]);
+    });
+    table.Row({name, FmtCount(edges), Fmt(tkc_s), FmtCount(tri.iterations),
+               FmtCount(bi.iterations),
+               Fmt(100.0 * agree_tri / edges, 2) + "%",
+               Fmt(100.0 * agree_bi / edges, 2) + "%"});
+  }
+  table.Rule();
+  std::printf(
+      "\nAgreement must read 100%% everywhere (Claim 3). The iteration\n"
+      "columns show why the direct peel wins: TriDN walks lambda down one\n"
+      "unit per pass, BiTriDN jumps but still re-scans all edges per "
+      "pass.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tkc::bench
+
+int main(int argc, char** argv) { return tkc::bench::Run(argc, argv); }

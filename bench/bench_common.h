@@ -1,0 +1,98 @@
+#ifndef TKC_BENCH_BENCH_COMMON_H_
+#define TKC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tkc/gen/datasets.h"
+#include "tkc/graph/triangle.h"
+#include "tkc/util/timer.h"
+
+namespace tkc::bench {
+
+/// Shared CLI contract for every bench binary:
+///   --size-factor=<f>  scale every dataset's vertex count by f
+///   --quick            shorthand for --size-factor=0.05 (smoke run)
+///   --seed=<n>         base RNG seed (default 2012, the paper's year)
+struct BenchConfig {
+  double size_factor = 1.0;
+  uint64_t seed = 2012;
+};
+
+inline BenchConfig ParseArgs(int argc, char** argv) {
+  BenchConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--size-factor=", 14) == 0) {
+      cfg.size_factor = std::atof(arg + 14);
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      cfg.size_factor = 0.05;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      cfg.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+    }
+  }
+  return cfg;
+}
+
+/// Directory where benches drop SVG/CSV artifacts (created on demand).
+inline std::string ArtifactDir() {
+  std::filesystem::path dir = "bench_artifacts";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir.string();
+}
+
+/// Fixed-width table printer for paper-style result tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void Row(const std::vector<std::string>& cells) const {
+    std::string line;
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      std::string cell = cells[i];
+      int w = widths_[i];
+      if (static_cast<int>(cell.size()) > w) cell.resize(w);
+      line += cell + std::string(w - cell.size(), ' ') + "  ";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  void Rule() const {
+    size_t total = 0;
+    for (int w : widths_) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string Fmt(double v, int decimals = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+inline std::string FmtCount(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// One-line graph summary used as the header of every experiment.
+inline void PrintGraphSummary(const std::string& name, const Graph& g) {
+  std::printf("[%s] |V|=%u |E|=%zu triangles=%llu\n", name.c_str(),
+              g.NumVertices(), g.NumEdges(),
+              static_cast<unsigned long long>(CountTriangles(g)));
+}
+
+}  // namespace tkc::bench
+
+#endif  // TKC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,145 @@
+// Reproduces Figure 7: the PPI case study. The paper highlights three red
+// circles in the PPI density plot: clique 1 (the DN-Graph community of
+// [3]), clique 2 (an exact 10-vertex clique), and clique 3 (10 proteins
+// shown at height 9 because one edge — APC4/CDC16 — is missing).
+//
+// We plant exactly those structures in the PPI analogue: an 11-vertex
+// complex, an exact 10-clique, and a 10-vertex set minus one edge, then
+// verify that the top plateaus of the Triangle K-Core density plot recover
+// them — including the "shown as 9-vertex" effect of the missing edge.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tkc/core/core_extraction.h"
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+#include "tkc/viz/ascii_chart.h"
+#include "tkc/viz/density_plot.h"
+#include "tkc/viz/graph_draw.h"
+#include "tkc/viz/svg.h"
+
+namespace tkc::bench {
+namespace {
+
+std::vector<VertexId> PlantDistinct(Graph& g, uint32_t size, Rng& rng,
+                                    std::vector<bool>& used) {
+  std::vector<VertexId> members;
+  while (members.size() < size) {
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (used[v]) continue;
+    used[v] = true;
+    members.push_back(v);
+  }
+  std::sort(members.begin(), members.end());
+  PlantClique(g, members);
+  return members;
+}
+
+double Overlap(const std::vector<VertexId>& a,
+               const std::vector<VertexId>& b) {
+  size_t hit = 0;
+  for (VertexId v : b) {
+    if (std::find(a.begin(), a.end(), v) != a.end()) ++hit;
+  }
+  return b.empty() ? 0.0 : static_cast<double>(hit) / b.size();
+}
+
+int Run(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  std::printf("=== Figure 7: cliques in the PPI dataset ===\n\n");
+
+  Rng rng(cfg.seed);
+  // PPI-scale background (4741 proteins, ~15k interactions).
+  VertexId n = static_cast<VertexId>(4741 * cfg.size_factor);
+  n = std::max<VertexId>(n, 64);
+  Graph g = PowerLawCluster(n, 3, 0.5, rng);
+  std::vector<bool> used(g.NumVertices(), false);
+
+  // Paper's three red circles.
+  auto clique1 = PlantDistinct(g, 11, rng, used);  // DN-Graph community
+  auto clique2 = PlantDistinct(g, 10, rng, used);  // exact 10-clique
+  auto clique3 = PlantDistinct(g, 10, rng, used);  // 10 vertices ...
+  g.RemoveEdge(clique3[0], clique3[1]);  // ... minus the APC4-CDC16 edge
+
+  PrintGraphSummary("ppi+planted", g);
+
+  Timer t;
+  TriangleCoreResult cores = ComputeTriangleCores(g);
+  std::vector<uint32_t> co(g.EdgeCapacity(), 0);
+  g.ForEachEdge([&](EdgeId e, const Edge&) { co[e] = cores.kappa[e] + 2; });
+  std::printf("decomposition time: %ss\n\n", Fmt(t.Seconds()).c_str());
+
+  DensityPlot plot = BuildDensityPlot(g, co);
+  auto plateaus = FindPlateaus(plot, 8, 6);
+
+  TablePrinter table({10, 10, 10, 26, 16});
+  table.Row({"plateau", "height", "width", "matches planted", "recall"});
+  table.Rule();
+  struct Planted {
+    const char* name;
+    const std::vector<VertexId>* members;
+    uint32_t expected_height;
+  };
+  Planted planted[] = {{"clique1(11)", &clique1, 11},
+                       {"clique2(10)", &clique2, 10},
+                       {"clique3(10-1edge)", &clique3, 9}};
+  SvgOptions svg_opt;
+  svg_opt.title = "PPI analogue — Triangle K-Core density plot";
+  size_t shown = std::min<size_t>(plateaus.size(), 3);
+  for (size_t i = 0; i < shown; ++i) {
+    const PlotPlateau& p = plateaus[i];
+    std::string best = "-";
+    double best_recall = 0;
+    for (const Planted& pl : planted) {
+      double r = Overlap(p.vertices, *pl.members);
+      if (r > best_recall) {
+        best_recall = r;
+        best = pl.name;
+      }
+    }
+    table.Row({"#" + FmtCount(i + 1), FmtCount(p.value),
+               FmtCount(p.end - p.begin), best,
+               Fmt(100 * best_recall, 1) + "%"});
+    svg_opt.markers.push_back(
+        {p.begin, p.end, "clique " + std::to_string(i + 1), "#d62728"});
+  }
+  table.Rule();
+
+  // The paper's specific observations, checked directly:
+  bool c2_exact =
+      IsClique(g, clique2) && cores.kappa[g.FindEdge(clique2[0], clique2[1])] == 8;
+  EdgeId c3_edge = g.FindEdge(clique3[2], clique3[3]);
+  bool c3_at_9 = cores.kappa[c3_edge] + 2 == 9;
+  std::printf("\nclique2 is an exact 10-vertex clique at height 10: %s\n",
+              c2_exact ? "yes" : "NO");
+  std::printf(
+      "clique3 (10 proteins, 1 edge missing) is shown as a 9-clique: %s\n",
+      c3_at_9 ? "yes" : "NO");
+
+  AsciiChartOptions chart;
+  chart.height = 14;
+  std::printf("\n%s", RenderAsciiChart(plot, chart).c_str());
+  WriteTextFile(ArtifactDir() + "/fig7_ppi.svg", RenderSvg(plot, svg_opt));
+  WriteTextFile(ArtifactDir() + "/fig7_ppi.csv", PlotToCsv(plot));
+
+  // Draw the three extracted cliques, as the paper's Figure 7 does.
+  int drawn = 1;
+  for (const Planted& pl : planted) {
+    DrawOptions draw;
+    draw.title = pl.name;
+    WriteTextFile(ArtifactDir() + "/fig7_clique" + std::to_string(drawn++) +
+                      ".svg",
+                  DrawSubgraphSvg(g, *pl.members, draw));
+  }
+  std::printf("\nartifacts: %s/fig7_ppi.{svg,csv}, fig7_clique{1,2,3}.svg\n",
+              ArtifactDir().c_str());
+  return (c2_exact && c3_at_9) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tkc::bench
+
+int main(int argc, char** argv) { return tkc::bench::Run(argc, argv); }

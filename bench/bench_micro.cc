@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark): throughput of each pipeline stage —
+// triangle listing, K-Core peel, Triangle K-Core peel (both storage modes),
+// single-edge dynamic updates, DN-Graph passes, density-plot construction.
+// Sizes sweep so scaling behaviour (linear in triangles) is visible.
+
+#include <benchmark/benchmark.h>
+
+#include "tkc/baselines/dn_graph.h"
+#include "tkc/core/dynamic_core.h"
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/graph/kcore.h"
+#include "tkc/graph/triangle.h"
+#include "tkc/util/random.h"
+#include "tkc/viz/density_plot.h"
+
+namespace tkc {
+namespace {
+
+Graph MakeGraph(int64_t n) {
+  Rng rng(static_cast<uint64_t>(n) * 7919 + 3);
+  return PowerLawCluster(static_cast<VertexId>(n), 4, 0.5, rng);
+}
+
+void BM_TriangleCount(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  uint64_t triangles = 0;
+  for (auto _ : state) {
+    triangles = CountTriangles(g);
+    benchmark::DoNotOptimize(triangles);
+  }
+  state.counters["triangles"] = static_cast<double>(triangles);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_TriangleCount)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_KCorePeel(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    KCoreResult r = ComputeKCores(g);
+    benchmark::DoNotOptimize(r.max_core);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_KCorePeel)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TriangleCorePeel_Store(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto r = ComputeTriangleCores(g, TriangleStorageMode::kStoreTriangles);
+    benchmark::DoNotOptimize(r.max_kappa);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_TriangleCorePeel_Store)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_TriangleCorePeel_Recompute(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    auto r =
+        ComputeTriangleCores(g, TriangleStorageMode::kRecomputeTriangles);
+    benchmark::DoNotOptimize(r.max_kappa);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_TriangleCorePeel_Recompute)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_DynamicInsertDelete(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  DynamicTriangleCore dyn(g);
+  Rng rng(11);
+  const VertexId n = dyn.graph().NumVertices();
+  for (auto _ : state) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    if (dyn.graph().HasEdge(u, v)) {
+      dyn.RemoveEdge(u, v);
+    } else {
+      dyn.InsertEdge(u, v);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicInsertDelete)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_BiTriDnPass(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    DnGraphResult r = BiTriDn(g, 1);  // one synchronous pass
+    benchmark::DoNotOptimize(r.edge_updates);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_BiTriDnPass)->Arg(1000)->Arg(10000);
+
+void BM_DensityPlotBuild(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  TriangleCoreResult cores = ComputeTriangleCores(g);
+  std::vector<uint32_t> co(g.EdgeCapacity(), 0);
+  g.ForEachEdge([&](EdgeId e, const Edge&) { co[e] = cores.kappa[e] + 2; });
+  for (auto _ : state) {
+    DensityPlot plot = BuildDensityPlot(g, co);
+    benchmark::DoNotOptimize(plot.points.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumVertices()));
+}
+BENCHMARK(BM_DensityPlotBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_EdgeLookup(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  Rng rng(13);
+  const VertexId n = g.NumVertices();
+  for (auto _ : state) {
+    EdgeId e = g.FindEdge(static_cast<VertexId>(rng.NextBounded(n)),
+                          static_cast<VertexId>(rng.NextBounded(n)));
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EdgeLookup)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace tkc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Reproduces Table II: execution time of Triangle K-Core (Algorithm 1)
+// against CSV and the DN-Graph variants TriDN / BiTriDN on the Table I
+// dataset analogues.
+//
+// Expected shape (paper): Triangle K-Core is fastest everywhere; the
+// DN-Graph variants pay an iterative multiple of it; CSV is slowest and
+// infeasible on large graphs (the paper could not run CSV or TriDN on its
+// three largest datasets — we apply the same cutoffs).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "tkc/baselines/csv.h"
+#include "tkc/baselines/dn_graph.h"
+#include "tkc/core/triangle_core.h"
+
+namespace tkc::bench {
+namespace {
+
+// Feasibility gates mirroring the paper's "could not run" notes: CSV and
+// TriDN did not run on the paper's three largest datasets (wiki, flickr,
+// livejournal) and BiTriDN took too long to converge there. TriDN's
+// unit-step convergence additionally prices it out of the 380k+-edge sets
+// here; bench_claim3_convergence exhibits its full iteration cost on astro.
+constexpr size_t kCsvMaxEdges = 950000;
+constexpr size_t kTriDnMaxEdges = 200000;
+constexpr size_t kBiTriDnMaxEdges = 1200000;
+
+int Run(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  std::printf(
+      "=== Table II: execution time (seconds) — Triangle K-Core vs "
+      "competitors ===\n");
+  std::printf("size-factor=%.3f seed=%llu\n\n", cfg.size_factor,
+              static_cast<unsigned long long>(cfg.seed));
+
+  TablePrinter table({14, 10, 10, 12, 10, 10, 10, 10});
+  table.Row({"dataset", "|V|", "|E|", "triangles", "TKC", "BiTriDN", "TriDN",
+             "CSV"});
+  table.Rule();
+
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    Dataset ds = MakeDataset(spec.name, cfg.seed, cfg.size_factor);
+    const Graph& g = ds.graph;
+    const size_t edges = g.NumEdges();
+
+    Timer t;
+    TriangleCoreResult cores = ComputeTriangleCores(g);
+    double tkc_s = t.Seconds();
+
+    std::string bitridn_s = "skipped", tridn_s = "skipped",
+                csv_s = "skipped";
+    bool values_match = true;
+    if (edges <= kBiTriDnMaxEdges) {
+      t.Restart();
+      DnGraphResult bi = BiTriDn(g);
+      bitridn_s = Fmt(t.Seconds()) + " (" + FmtCount(bi.iterations) + "it)";
+      g.ForEachEdge([&](EdgeId e, const Edge&) {
+        if (bi.lambda[e] != cores.kappa[e]) values_match = false;
+      });
+    }
+    if (edges <= kTriDnMaxEdges) {
+      t.Restart();
+      DnGraphResult tri = TriDn(g);
+      tridn_s = Fmt(t.Seconds()) + " (" + FmtCount(tri.iterations) + "it)";
+      g.ForEachEdge([&](EdgeId e, const Edge&) {
+        if (tri.lambda[e] != cores.kappa[e]) values_match = false;
+      });
+    }
+    if (edges <= kCsvMaxEdges) {
+      CsvOptions opt;
+      opt.max_neighborhood = 96;
+      opt.clique_node_budget = 20000;
+      t.Restart();
+      CsvResult csv = ComputeCsv(g, opt);
+      csv_s = Fmt(t.Seconds());
+      (void)csv;
+    }
+
+    table.Row({spec.name, FmtCount(g.NumVertices()), FmtCount(edges),
+               FmtCount(cores.triangle_count), Fmt(tkc_s), bitridn_s,
+               tridn_s, csv_s});
+    if (!values_match) {
+      std::printf("  !! DN-Graph fixpoint disagreed with kappa on %s\n",
+                  spec.name.c_str());
+    }
+  }
+  table.Rule();
+  std::printf(
+      "\nNotes: DN-Graph variants converge to exactly kappa(e) (Claim 3);\n"
+      "'skipped' mirrors the paper's infeasibility cutoffs for large "
+      "graphs.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tkc::bench
+
+int main(int argc, char** argv) { return tkc::bench::Run(argc, argv); }

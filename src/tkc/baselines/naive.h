@@ -1,0 +1,36 @@
+#ifndef TKC_BASELINES_NAIVE_H_
+#define TKC_BASELINES_NAIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Brute-force Triangle K-Core decomposition by literal iterated deletion:
+/// for k = 1, 2, ... repeatedly delete every edge with fewer than k
+/// triangles in the surviving subgraph; an edge deleted in round k has
+/// κ = k-1 (it survived the (k-1)-core but not the k-core).
+///
+/// This is the definitional reference implementation — O(k_max · |E| · deg)
+/// — used by the test suite to certify Algorithm 1 and the dynamic
+/// maintenance, and by the benches as the "no cleverness" yardstick.
+std::vector<uint32_t> NaiveTriangleCores(const Graph& g);
+
+/// Brute-force K-Core (vertex) decomposition by iterated deletion, the
+/// reference for the Batagelj–Zaversnik implementation.
+std::vector<uint32_t> NaiveKCores(const Graph& g);
+
+/// Exact maximum clique via branch and bound with greedy-coloring bounds.
+/// Exponential in the worst case; intended for the small/medium graphs used
+/// in tests and in the CSV baseline's per-edge neighborhoods.
+/// `node_budget` caps the number of search-tree nodes (0 = unlimited); when
+/// the budget trips, the best clique found so far is returned and
+/// `*exact` (if provided) is set to false.
+std::vector<VertexId> MaxClique(const Graph& g, uint64_t node_budget = 0,
+                                bool* exact = nullptr);
+
+}  // namespace tkc
+
+#endif  // TKC_BASELINES_NAIVE_H_

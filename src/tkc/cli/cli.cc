@@ -1,0 +1,332 @@
+#include "tkc/cli/cli.h"
+
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "tkc/core/dynamic_core.h"
+#include "tkc/core/hierarchy.h"
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/graph/kcore.h"
+#include "tkc/graph/stats.h"
+#include "tkc/io/edge_list.h"
+#include "tkc/patterns/patterns.h"
+#include "tkc/util/random.h"
+#include "tkc/util/timer.h"
+#include "tkc/viz/ascii_chart.h"
+#include "tkc/viz/density_plot.h"
+#include "tkc/viz/svg.h"
+
+namespace tkc {
+
+namespace {
+
+// Splits args into positionals and --key=value flags.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string Flag(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int64_t FlagInt(const std::string& key, int64_t fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoll(it->second);
+  }
+  double FlagDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+ParsedArgs Parse(const std::vector<std::string>& args) {
+  ParsedArgs parsed;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        parsed.flags[arg.substr(2)] = "";
+      } else {
+        parsed.flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err) {
+  auto g = ReadEdgeListFile(path);
+  if (!g.has_value()) {
+    err << "error: cannot read edge list '" << path << "'\n";
+  }
+  return g;
+}
+
+int CmdDecompose(const ParsedArgs& args, std::ostream& out,
+                 std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  TriangleStorageMode mode = args.Flag("mode", "recompute") == "store"
+                                 ? TriangleStorageMode::kStoreTriangles
+                                 : TriangleStorageMode::kRecomputeTriangles;
+  Timer t;
+  TriangleCoreResult r = ComputeTriangleCores(*g, mode);
+  double seconds = t.Seconds();
+  out << "# u v kappa co_clique_size\n";
+  g->ForEachEdge([&](EdgeId e, const Edge& edge) {
+    out << edge.u << ' ' << edge.v << ' ' << r.kappa[e] << ' '
+        << r.CocliqueSize(e) << '\n';
+  });
+  out << "# edges=" << g->NumEdges() << " triangles=" << r.triangle_count
+      << " max_kappa=" << r.max_kappa << " seconds=" << seconds << '\n';
+  return 0;
+}
+
+int CmdKCore(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  KCoreResult r = ComputeKCores(*g);
+  out << "# v core\n";
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    out << v << ' ' << r.core_of[v] << '\n';
+  }
+  out << "# max_core=" << r.max_core << '\n';
+  return 0;
+}
+
+int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  GraphStats s = ComputeGraphStats(*g);
+  out << "vertices:               " << s.num_vertices << '\n'
+      << "edges:                  " << s.num_edges << '\n'
+      << "triangles:              " << s.num_triangles << '\n'
+      << "max degree:             " << s.max_degree << '\n'
+      << "mean degree:            " << s.mean_degree << '\n'
+      << "global clustering:      " << s.global_clustering << '\n'
+      << "mean local clustering:  " << s.mean_local_clustering << '\n'
+      << "degeneracy (max core):  " << s.degeneracy << '\n'
+      << "connected components:   " << s.num_components << '\n';
+  return 0;
+}
+
+int CmdPlot(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  TriangleCoreResult r = ComputeTriangleCores(*g);
+  std::vector<uint32_t> co(g->EdgeCapacity(), 0);
+  g->ForEachEdge([&](EdgeId e, const Edge&) { co[e] = r.kappa[e] + 2; });
+  DensityPlot plot = BuildDensityPlot(*g, co);
+  AsciiChartOptions opt;
+  opt.width = static_cast<size_t>(args.FlagInt("width", 100));
+  opt.height = static_cast<size_t>(args.FlagInt("height", 16));
+  out << RenderAsciiChart(plot, opt);
+  std::string svg_path = args.Flag("svg", "");
+  if (!svg_path.empty()) {
+    SvgOptions svg;
+    svg.title = args.positional[1] + " — Triangle K-Core density plot";
+    if (!WriteTextFile(svg_path, RenderSvg(plot, svg))) {
+      err << "error: cannot write '" << svg_path << "'\n";
+      return 2;
+    }
+    out << "wrote " << svg_path << '\n';
+  }
+  return 0;
+}
+
+int CmdHierarchy(const ParsedArgs& args, std::ostream& out,
+                 std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  TriangleCoreResult r = ComputeTriangleCores(*g);
+  CoreHierarchy h = BuildCoreHierarchy(*g, r);
+  out << HierarchyToString(
+      h, static_cast<size_t>(args.FlagInt("max-nodes", 64)));
+  out << "# nodes=" << h.nodes.size() << " roots=" << h.roots.size() << '\n';
+  return 0;
+}
+
+std::optional<std::vector<EdgeEvent>> ReadEvents(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<EdgeEvent> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    char op = 0;
+    long long u = -1, v = -1;
+    if (!(fields >> op >> u >> v) || (op != '+' && op != '-') || u < 0 ||
+        v < 0 || u == v) {
+      return std::nullopt;
+    }
+    events.push_back(
+        {op == '+' ? EdgeEvent::Kind::kInsert : EdgeEvent::Kind::kRemove,
+         static_cast<VertexId>(u), static_cast<VertexId>(v)});
+  }
+  return events;
+}
+
+int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  auto events = ReadEvents(args.positional[2]);
+  if (!events) {
+    err << "error: cannot read events '" << args.positional[2] << "'\n";
+    return 2;
+  }
+  DynamicTriangleCore dyn(*g);
+  Timer t;
+  UpdateStats stats = dyn.ApplyEvents(*events);
+  double update_s = t.Seconds();
+  t.Restart();
+  TriangleCoreResult fresh = ComputeTriangleCores(dyn.graph());
+  double recompute_s = t.Seconds();
+  bool match = true;
+  dyn.graph().ForEachEdge([&](EdgeId e, const Edge&) {
+    match = match && fresh.kappa[e] == dyn.kappa()[e];
+  });
+  out << "# u v kappa\n";
+  dyn.graph().ForEachEdge([&](EdgeId e, const Edge& edge) {
+    out << edge.u << ' ' << edge.v << ' ' << dyn.kappa()[e] << '\n';
+  });
+  out << "# events=" << events->size() << " update_seconds=" << update_s
+      << " recompute_seconds=" << recompute_s
+      << " touched_edges=" << stats.candidate_edges
+      << " verified=" << (match ? "yes" : "NO") << '\n';
+  return match ? 0 : 3;
+}
+
+int CmdTemplates(const ParsedArgs& args, std::ostream& out,
+                 std::ostream& err) {
+  auto old_g = LoadGraph(args.positional[1], err);
+  auto new_g = LoadGraph(args.positional[2], err);
+  if (!old_g || !new_g) return 2;
+  std::string pattern = args.Flag("pattern", "newform");
+  TemplateSpec spec;
+  if (pattern == "newform") {
+    spec = NewFormSpec();
+  } else if (pattern == "bridge") {
+    spec = BridgeSpec();
+  } else if (pattern == "newjoin") {
+    spec = NewJoinSpec();
+  } else {
+    err << "error: unknown --pattern '" << pattern << "'\n";
+    return 2;
+  }
+  LabeledGraph lg = LabelFromGraphs(*old_g, *new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, spec);
+  DensityPlot plot = BuildDensityPlot(lg.graph, det.co_clique_size,
+                                      /*include_zero_vertices=*/false);
+  auto plateaus = FindPlateaus(
+      plot, static_cast<uint32_t>(args.FlagInt("min-size", 3)), 2);
+  out << "# pattern=" << spec.name
+      << " characteristic=" << det.characteristic_triangles
+      << " possible=" << det.possible_triangles
+      << " special_edges=" << det.special_edges.size() << '\n';
+  for (size_t i = 0; i < plateaus.size(); ++i) {
+    out << "plateau " << i + 1 << ": size=" << plateaus[i].value
+        << " vertices=";
+    for (size_t k = 0; k < plateaus[i].vertices.size(); ++k) {
+      out << (k ? "," : "") << plateaus[i].vertices[k];
+    }
+    out << '\n';
+  }
+  return 0;
+}
+
+int CmdGenerate(const ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  const std::string model = args.positional[1];
+  const std::string out_path = args.Flag("out", "");
+  if (out_path.empty()) {
+    err << "error: generate requires --out=FILE\n";
+    return 2;
+  }
+  Rng rng(static_cast<uint64_t>(args.FlagInt("seed", 2012)));
+  VertexId n = static_cast<VertexId>(args.FlagInt("n", 1000));
+  Graph g;
+  if (model == "er") {
+    g = ErdosRenyi(n, args.FlagDouble("p", 0.01), rng);
+  } else if (model == "gnm") {
+    g = GnmRandom(n, static_cast<size_t>(args.FlagInt("m", 4 * n)), rng);
+  } else if (model == "ba") {
+    g = BarabasiAlbert(n, static_cast<uint32_t>(args.FlagInt("m", 3)), rng);
+  } else if (model == "plc") {
+    g = PowerLawCluster(n, static_cast<uint32_t>(args.FlagInt("m", 3)),
+                        args.FlagDouble("p", 0.5), rng);
+  } else if (model == "ws") {
+    g = WattsStrogatz(n, static_cast<uint32_t>(args.FlagInt("m", 3)),
+                      args.FlagDouble("p", 0.1), rng);
+  } else if (model == "rmat") {
+    g = Rmat(static_cast<uint32_t>(args.FlagInt("scale", 10)),
+             static_cast<uint32_t>(args.FlagInt("m", 8)), 0.57, 0.19, 0.19,
+             rng);
+  } else if (model == "geometric") {
+    g = RandomGeometric(n, args.FlagDouble("p", 0.05), rng);
+  } else if (model == "collab") {
+    g = CollaborationGraph(n, static_cast<size_t>(args.FlagInt("m", n / 2)),
+                           2, 5, rng);
+  } else {
+    err << "error: unknown model '" << model << "'\n";
+    return 2;
+  }
+  if (!WriteEdgeListFile(g, out_path)) {
+    err << "error: cannot write '" << out_path << "'\n";
+    return 2;
+  }
+  out << "wrote " << out_path << ": " << g.NumVertices() << " vertices, "
+      << g.NumEdges() << " edges\n";
+  return 0;
+}
+
+void PrintUsage(std::ostream& err) {
+  err << "usage: tkc <command> ...\n"
+         "  decompose <edges.txt> [--mode=store|recompute]\n"
+         "  kcore     <edges.txt>\n"
+         "  stats     <edges.txt>\n"
+         "  plot      <edges.txt> [--svg=FILE] [--width=N] [--height=N]\n"
+         "  hierarchy <edges.txt> [--max-nodes=N]\n"
+         "  update    <edges.txt> <events.txt>\n"
+         "  templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin\n"
+         "  generate  <er|gnm|ba|plc|ws|rmat|geometric|collab> --out=FILE\n"
+         "            [--n=N] [--m=M] [--p=P] [--seed=S]\n";
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  ParsedArgs parsed = Parse(args);
+  const auto& pos = parsed.positional;
+  auto need = [&](size_t count) {
+    if (pos.size() < count) {
+      PrintUsage(err);
+      return false;
+    }
+    return true;
+  };
+  if (pos.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+  const std::string& cmd = pos[0];
+  if (cmd == "decompose" && need(2)) return CmdDecompose(parsed, out, err);
+  if (cmd == "kcore" && need(2)) return CmdKCore(parsed, out, err);
+  if (cmd == "stats" && need(2)) return CmdStats(parsed, out, err);
+  if (cmd == "plot" && need(2)) return CmdPlot(parsed, out, err);
+  if (cmd == "hierarchy" && need(2)) return CmdHierarchy(parsed, out, err);
+  if (cmd == "update" && need(3)) return CmdUpdate(parsed, out, err);
+  if (cmd == "templates" && need(3)) return CmdTemplates(parsed, out, err);
+  if (cmd == "generate" && need(2)) return CmdGenerate(parsed, out, err);
+  PrintUsage(err);
+  return 2;
+}
+
+}  // namespace tkc

@@ -1,0 +1,284 @@
+#include "tkc/core/dynamic_core.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "tkc/graph/triangle.h"
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+DynamicTriangleCore::DynamicTriangleCore(Graph graph)
+    : graph_(std::move(graph)) {
+  TriangleCoreResult initial = ComputeTriangleCores(graph_);
+  kappa_ = std::move(initial.kappa);
+  GrowArrays();
+}
+
+DynamicTriangleCore::DynamicTriangleCore(Graph graph,
+                                         const TriangleCoreResult& initial)
+    : graph_(std::move(graph)), kappa_(initial.kappa) {
+  TKC_CHECK(kappa_.size() == graph_.EdgeCapacity());
+  GrowArrays();
+}
+
+void DynamicTriangleCore::GrowArrays() {
+  const size_t cap = graph_.EdgeCapacity();
+  if (kappa_.size() < cap) kappa_.resize(cap, 0);
+  if (flag_.size() < cap) flag_.resize(cap, 0);
+  if (cand_support_.size() < cap) cand_support_.resize(cap, 0);
+  if (queued_.size() < cap) queued_.resize(cap, 0);
+}
+
+uint32_t DynamicTriangleCore::InsertionBound(EdgeId e0) const {
+  // h-index over min(κ(e1), κ(e2)) of e0's triangles: the largest k such
+  // that at least k triangles have partner-min >= k.
+  std::vector<uint32_t> mins;
+  ForEachTriangleOnEdge(graph_, e0, [&](VertexId, EdgeId e1, EdgeId e2) {
+    mins.push_back(std::min(kappa_[e1], kappa_[e2]));
+  });
+  std::sort(mins.begin(), mins.end(), std::greater<uint32_t>());
+  uint32_t k1 = 0;
+  for (size_t i = 0; i < mins.size(); ++i) {
+    if (mins[i] >= i + 1) k1 = static_cast<uint32_t>(i + 1);
+  }
+  return k1;
+}
+
+EdgeId DynamicTriangleCore::InsertEdge(VertexId u, VertexId v) {
+  bool inserted = false;
+  EdgeId e0 = graph_.AddEdge(u, v, &inserted);
+  if (!inserted) return e0;
+  GrowArrays();
+  last_stats_ = UpdateStats{};
+
+  const uint32_t k1 = InsertionBound(e0);
+  kappa_[e0] = k1;
+
+  // Per-level Rule-0 regions are independent (a level-k promotion depends
+  // only on edges with κ > k, which other levels never produce), so all
+  // levels are evaluated against pre-insertion κ values and the +1
+  // promotions are applied at the end. Only levels that can seed a
+  // candidate region need processing: a level-k region is reachable only
+  // through a triangle on e0 whose partner minimum is exactly k (that
+  // partner is the seed), plus level k1 where e0 itself is the candidate.
+  std::vector<uint32_t> levels;
+  ForEachTriangleOnEdge(graph_, e0, [&](VertexId, EdgeId e1, EdgeId e2) {
+    uint32_t m = std::min(kappa_[e1], kappa_[e2]);
+    if (m <= k1) levels.push_back(m);
+  });
+  levels.push_back(k1);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+
+  std::vector<EdgeId> promotions;
+  for (uint32_t k : levels) {
+    ProcessInsertLevel(e0, k, &promotions);
+  }
+  for (EdgeId e : promotions) ++kappa_[e];
+  last_stats_.promoted_edges = promotions.size();
+
+  total_stats_.candidate_edges += last_stats_.candidate_edges;
+  total_stats_.promoted_edges += last_stats_.promoted_edges;
+  total_stats_.triangles_scanned += last_stats_.triangles_scanned;
+  return e0;
+}
+
+void DynamicTriangleCore::ProcessInsertLevel(EdgeId e0, uint32_t k,
+                                             std::vector<EdgeId>* promotions) {
+  // --- Region growth (Rule 0): edges with κ == k triangle-connected to e0
+  // through triangles whose other two edges have κ >= k. Only candidates
+  // (κ == k) propagate the search; κ > k edges are stable walls.
+  std::vector<EdgeId> cands;
+  std::deque<EdgeId> frontier;
+  auto consider = [&](EdgeId f) {
+    if (kappa_[f] == k && flag_[f] == 0) {
+      flag_[f] = 1;
+      cands.push_back(f);
+      frontier.push_back(f);
+    }
+  };
+  auto expand = [&](EdgeId x) {
+    ForEachTriangleOnEdge(graph_, x, [&](VertexId, EdgeId f1, EdgeId f2) {
+      ++last_stats_.triangles_scanned;
+      if (kappa_[f1] < k || kappa_[f2] < k) return;
+      consider(f1);
+      consider(f2);
+    });
+  };
+  // e0 participates in the region by fiat; if its tentative κ equals k
+  // (k == k1) it is itself a promotion candidate.
+  if (kappa_[e0] == k) {
+    flag_[e0] = 1;
+    cands.push_back(e0);
+  }
+  expand(e0);
+  while (!frontier.empty()) {
+    EdgeId c = frontier.front();
+    frontier.pop_front();
+    if (c != e0) expand(c);
+  }
+  last_stats_.candidate_edges += cands.size();
+
+  // --- Repeel: a candidate is promoted to k+1 iff it retains >= k+1
+  // triangles whose partners have κ > k or are surviving candidates.
+  // `Qual` evaluates partner eligibility under the current eviction state.
+  auto qual = [&](EdgeId f) { return kappa_[f] > k || flag_[f] == 1; };
+  std::deque<EdgeId> evict_queue;
+  for (EdgeId c : cands) {
+    uint32_t s = 0;
+    ForEachTriangleOnEdge(graph_, c, [&](VertexId, EdgeId f1, EdgeId f2) {
+      ++last_stats_.triangles_scanned;
+      if (qual(f1) && qual(f2)) ++s;
+    });
+    cand_support_[c] = s;
+    if (s < k + 1) evict_queue.push_back(c);
+  }
+  while (!evict_queue.empty()) {
+    EdgeId c = evict_queue.front();
+    evict_queue.pop_front();
+    if (flag_[c] != 1) continue;  // already evicted
+    if (cand_support_[c] >= k + 1) continue;  // support was restored? never
+    flag_[c] = 2;
+    // Triangles that counted for a candidate partner stop counting.
+    ForEachTriangleOnEdge(graph_, c, [&](VertexId, EdgeId f1, EdgeId f2) {
+      ++last_stats_.triangles_scanned;
+      auto drop = [&](EdgeId cand, EdgeId other) {
+        if (flag_[cand] != 1) return;
+        if (!(kappa_[other] > k || flag_[other] == 1)) return;
+        // Triangle (c, cand, other) previously counted toward cand.
+        if (--cand_support_[cand] < k + 1) evict_queue.push_back(cand);
+      };
+      drop(f1, f2);
+      drop(f2, f1);
+    });
+  }
+  for (EdgeId c : cands) {
+    if (flag_[c] == 1) promotions->push_back(c);
+    flag_[c] = 0;  // reset scratch
+    cand_support_[c] = 0;
+  }
+}
+
+UpdateStats DynamicTriangleCore::ApplyEvents(
+    const std::vector<EdgeEvent>& events) {
+  UpdateStats batch;
+  for (const EdgeEvent& ev : events) {
+    if (ev.kind == EdgeEvent::Kind::kInsert) {
+      InsertEdge(ev.u, ev.v);
+    } else {
+      RemoveEdge(ev.u, ev.v);
+    }
+    batch.candidate_edges += last_stats_.candidate_edges;
+    batch.promoted_edges += last_stats_.promoted_edges;
+    batch.demoted_edges += last_stats_.demoted_edges;
+    batch.triangles_scanned += last_stats_.triangles_scanned;
+  }
+  return batch;
+}
+
+size_t DynamicTriangleCore::RemoveVertexEdges(VertexId v) {
+  if (v >= graph_.NumVertices()) return 0;
+  std::vector<EdgeId> incident;
+  for (const Neighbor& nb : graph_.Neighbors(v)) incident.push_back(nb.edge);
+  for (EdgeId e : incident) RemoveEdgeById(e);
+  return incident.size();
+}
+
+bool DynamicTriangleCore::RemoveEdge(VertexId u, VertexId v) {
+  EdgeId e0 = graph_.FindEdge(u, v);
+  if (e0 == kInvalidEdge) return false;
+  RemoveEdgeInternal(e0);
+  return true;
+}
+
+void DynamicTriangleCore::RemoveEdgeById(EdgeId e0) {
+  TKC_CHECK(graph_.IsEdgeAlive(e0));
+  RemoveEdgeInternal(e0);
+}
+
+void DynamicTriangleCore::RemoveEdgeInternal(EdgeId e0) {
+  last_stats_ = UpdateStats{};
+  const uint32_t k0 = kappa_[e0];
+
+  // Partners of every destroyed triangle whose κ could drop (Rule 0: the
+  // triangle supported f's level iff the other two edges both had κ >=
+  // κ(f)).
+  std::vector<std::pair<EdgeId, EdgeId>> destroyed;
+  ForEachTriangleOnEdge(graph_, e0, [&](VertexId, EdgeId e1, EdgeId e2) {
+    destroyed.emplace_back(e1, e2);
+  });
+  graph_.RemoveEdgeById(e0);
+  kappa_[e0] = 0;
+
+  std::vector<EdgeId> queue;
+  auto seed = [&](EdgeId f, EdgeId other) {
+    if (kappa_[f] == 0 || queued_[f]) return;
+    if (std::min(k0, kappa_[other]) >= kappa_[f]) {
+      queued_[f] = 1;
+      queue.push_back(f);
+    }
+  };
+  for (const auto& [e1, e2] : destroyed) {
+    seed(e1, e2);
+    seed(e2, e1);
+  }
+  PumpDemotions(queue);
+
+  total_stats_.candidate_edges += last_stats_.candidate_edges;
+  total_stats_.demoted_edges += last_stats_.demoted_edges;
+  total_stats_.triangles_scanned += last_stats_.triangles_scanned;
+}
+
+void DynamicTriangleCore::PumpDemotions(std::vector<EdgeId>& queue) {
+  // Asynchronous decreasing iteration: κ(f) <- h(f) where h(f) is the
+  // largest k such that f keeps >= k triangles with partner-min >= k.
+  // Starting from valid upper bounds this converges exactly to the
+  // decomposition (any fixpoint of h is dominated by the true κ, and the
+  // iteration never undershoots it).
+  size_t head = 0;
+  while (head < queue.size()) {
+    EdgeId f = queue[head++];
+    queued_[f] = 0;
+    if (!graph_.IsEdgeAlive(f)) continue;
+    const uint32_t kf = kappa_[f];
+    if (kf == 0) continue;
+    ++last_stats_.candidate_edges;
+
+    // Count triangles qualified at the current level; collect the partner
+    // minima histogram (capped at kf) for the h recomputation.
+    if (hist_.size() < static_cast<size_t>(kf) + 1) hist_.resize(kf + 1);
+    std::fill(hist_.begin(), hist_.begin() + kf + 1, 0);
+    ForEachTriangleOnEdge(graph_, f, [&](VertexId, EdgeId f1, EdgeId f2) {
+      ++last_stats_.triangles_scanned;
+      uint32_t m = std::min(kappa_[f1], kappa_[f2]);
+      hist_[std::min(m, kf)]++;
+    });
+    uint32_t cum = 0;
+    uint32_t h = 0;
+    for (uint32_t k = kf; k > 0; --k) {
+      cum += hist_[k];
+      if (cum >= k) {
+        h = k;
+        break;
+      }
+    }
+    if (h >= kf) continue;  // support intact, no change
+
+    kappa_[f] = h;
+    ++last_stats_.demoted_edges;
+    // Theorem-1 neighbors whose qualified count may have used f at a level
+    // f no longer reaches.
+    ForEachTriangleOnEdge(graph_, f, [&](VertexId, EdgeId f1, EdgeId f2) {
+      ++last_stats_.triangles_scanned;
+      for (EdgeId p : {f1, f2}) {
+        if (kappa_[p] > h && kappa_[p] <= kf && !queued_[p]) {
+          queued_[p] = 1;
+          queue.push_back(p);
+        }
+      }
+    });
+  }
+}
+
+}  // namespace tkc

@@ -1,0 +1,155 @@
+#include "tkc/core/triangle_core.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tkc/graph/triangle.h"
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+namespace {
+
+// Bucket queue over live edges keyed by their current κ̃ (remaining
+// support). Mirrors the Batagelj–Zaversnik structure: `order_` holds the
+// edges sorted by key, `bucket_[d]` is the index in `order_` of the first
+// edge with key d, and a decrement is an O(1) swap-to-bucket-front.
+class EdgeBucketQueue {
+ public:
+  EdgeBucketQueue(const std::vector<EdgeId>& live,
+                  const std::vector<uint32_t>& key, size_t edge_capacity) {
+    uint32_t max_key = 0;
+    for (EdgeId e : live) max_key = std::max(max_key, key[e]);
+    bucket_.assign(max_key + 2, 0);
+    for (EdgeId e : live) ++bucket_[key[e] + 1];
+    for (size_t d = 1; d < bucket_.size(); ++d) bucket_[d] += bucket_[d - 1];
+    order_.resize(live.size());
+    position_.assign(edge_capacity, 0);
+    std::vector<uint32_t> cursor(bucket_.begin(), bucket_.end() - 1);
+    for (EdgeId e : live) {
+      position_[e] = cursor[key[e]];
+      order_[position_[e]] = e;
+      ++cursor[key[e]];
+    }
+    bucket_.pop_back();  // keep bucket_[d] = start index of key d
+  }
+
+  EdgeId At(size_t i) const { return order_[i]; }
+  size_t Size() const { return order_.size(); }
+
+  // Moves `e` from key `d` to key `d-1`. Only valid while no edge with key
+  // < d-1 remains unprocessed beyond index `processed_upto`.
+  void Decrement(EdgeId e, uint32_t d) {
+    uint32_t pe = position_[e];
+    uint32_t pf = bucket_[d];
+    EdgeId f = order_[pf];
+    if (e != f) {
+      std::swap(order_[pe], order_[pf]);
+      position_[e] = pf;
+      position_[f] = pe;
+    }
+    ++bucket_[d];
+  }
+
+ private:
+  std::vector<EdgeId> order_;
+  std::vector<uint32_t> position_;
+  std::vector<uint32_t> bucket_;
+};
+
+// Shared peel over any graph type exposing EdgeCapacity / ForEachEdge /
+// GetEdge / ForEachCommonNeighbor (Graph and CsrGraph).
+template <typename GraphT>
+TriangleCoreResult PeelTriangleCores(const GraphT& g,
+                                     TriangleStorageMode mode) {
+  const size_t cap = g.EdgeCapacity();
+  TriangleCoreResult result;
+  result.kappa.assign(cap, 0);
+  result.order.assign(cap, kInvalidOrder);
+
+  std::vector<EdgeId> live;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { live.push_back(e); });
+  result.peel_sequence.reserve(live.size());
+
+  // Steps 1-5: κ̃(e) = number of triangles on e (the upper bound), each
+  // triangle discovered once at its lexicographically smallest edge.
+  std::vector<uint32_t> support(cap, 0);
+  std::vector<std::vector<std::pair<EdgeId, EdgeId>>> stored;
+  if (mode == TriangleStorageMode::kStoreTriangles) stored.resize(cap);
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    g.ForEachCommonNeighbor(edge.u, edge.v,
+                            [&](VertexId w, EdgeId uw, EdgeId vw) {
+                              if (w <= edge.v) return;
+                              ++support[e];
+                              ++support[uw];
+                              ++support[vw];
+                              ++result.triangle_count;
+                              if (mode ==
+                                  TriangleStorageMode::kStoreTriangles) {
+                                stored[e].emplace_back(uw, vw);
+                                stored[uw].emplace_back(e, vw);
+                                stored[vw].emplace_back(e, uw);
+                              }
+                            });
+  });
+
+  // Step 7: bucket sort edges by κ̃.
+  EdgeBucketQueue queue(live, support, cap);
+  std::vector<bool> processed(cap, false);
+
+  // Steps 8-18: peel in increasing κ̃ order.
+  for (size_t i = 0; i < queue.Size(); ++i) {
+    const EdgeId et = queue.At(i);
+    const uint32_t k = support[et];
+    result.kappa[et] = k;
+    result.max_kappa = std::max(result.max_kappa, k);
+    result.order[et] = static_cast<uint32_t>(i);
+    result.peel_sequence.push_back(et);
+    processed[et] = true;
+
+    // For each *unprocessed* triangle T on et, lower the κ̃ of T's other
+    // edges that still exceed κ(et) (steps 10-17). A triangle is processed
+    // iff any of its edges is processed.
+    auto relax = [&](EdgeId e1, EdgeId e2) {
+      if (processed[e1] || processed[e2]) return;
+      if (support[e1] > k) {
+        queue.Decrement(e1, support[e1]);
+        --support[e1];
+      }
+      if (support[e2] > k) {
+        queue.Decrement(e2, support[e2]);
+        --support[e2];
+      }
+    };
+    if (mode == TriangleStorageMode::kStoreTriangles) {
+      for (const auto& [e1, e2] : stored[et]) relax(e1, e2);
+    } else {
+      Edge edge = g.GetEdge(et);
+      g.ForEachCommonNeighbor(edge.u, edge.v,
+                              [&](VertexId, EdgeId e1, EdgeId e2) {
+                                relax(e1, e2);
+                              });
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+TriangleCoreResult ComputeTriangleCores(const Graph& g,
+                                        TriangleStorageMode mode) {
+  return PeelTriangleCores(g, mode);
+}
+
+TriangleCoreResult ComputeTriangleCores(const CsrGraph& g,
+                                        TriangleStorageMode mode) {
+  return PeelTriangleCores(g, mode);
+}
+
+uint32_t MaxKappa(const Graph& g, const TriangleCoreResult& r) {
+  uint32_t m = 0;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { m = std::max(m, r.kappa[e]); });
+  return m;
+}
+
+}  // namespace tkc

@@ -1,0 +1,64 @@
+#ifndef TKC_CORE_TRIANGLE_CORE_H_
+#define TKC_CORE_TRIANGLE_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/graph/csr.h"
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Rank value meaning "edge was never processed" (dead edge id).
+inline constexpr uint32_t kInvalidOrder = UINT32_MAX;
+
+/// How Algorithm 1 obtains the triangles incident to an edge during the
+/// peel (Section IV-A, last paragraph of the correctness discussion):
+enum class TriangleStorageMode {
+  /// Materialize every triangle once up front (3 entries per triangle).
+  /// Fastest, O(|Tri|) extra memory.
+  kStoreTriangles,
+  /// Re-intersect adjacency lists when an edge is processed; triangles are
+  /// recognized as unprocessed by checking their edges' processed flags.
+  /// The paper's mode for graphs whose triangle set does not fit in memory.
+  kRecomputeTriangles,
+};
+
+/// Output of the static decomposition (Algorithm 1).
+struct TriangleCoreResult {
+  /// κ(e): the maximum Triangle K-Core number of each edge, indexed by
+  /// EdgeId (dead ids hold 0 and order kInvalidOrder).
+  std::vector<uint32_t> kappa;
+  /// Processing rank of each edge — the paper's `e.order`, used by Rule 1
+  /// and by the dynamic update algorithms. Lower rank = peeled earlier.
+  std::vector<uint32_t> order;
+  /// Edges in the order they were processed (increasing κ̃).
+  std::vector<EdgeId> peel_sequence;
+  uint32_t max_kappa = 0;
+  uint64_t triangle_count = 0;
+
+  /// The paper's clique-size proxy: co_clique_size(e) = κ(e) + 2.
+  uint32_t CocliqueSize(EdgeId e) const { return kappa[e] + 2; }
+};
+
+/// Algorithm 1: computes κ(e) for every live edge of `g` by peeling edges in
+/// increasing order of their remaining triangle count (a bucket queue gives
+/// the paper's O(|E|) sort and O(1) reposition). Total cost is
+/// O(triangle-listing + |Tri|).
+TriangleCoreResult ComputeTriangleCores(
+    const Graph& g,
+    TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
+
+/// Same peel over a frozen CSR snapshot (identical EdgeIds, so the result
+/// is interchangeable with the dynamic-graph overload); the contiguous
+/// adjacency makes this the faster path for large static graphs.
+TriangleCoreResult ComputeTriangleCores(
+    const CsrGraph& g,
+    TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
+
+/// Largest κ over live edges of a precomputed result (0 on empty graphs).
+uint32_t MaxKappa(const Graph& g, const TriangleCoreResult& r);
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_TRIANGLE_CORE_H_

@@ -1,0 +1,45 @@
+#ifndef TKC_GEN_DATASETS_H_
+#define TKC_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Metadata for a synthetic analogue of a Table I dataset.
+struct DatasetSpec {
+  std::string name;         // registry key, lowercase
+  std::string paper_name;   // as printed in Table I
+  VertexId paper_vertices;  // Table I scale
+  uint64_t paper_edges;
+  double scale;             // our size relative to the paper's (1 = full)
+  std::string model;        // one-line description of the generator used
+};
+
+/// A generated dataset: the graph, plus vertex labels when the analogue has
+/// planted semantic structure (PPI complexes, stock sectors); empty
+/// otherwise. Label 0 means "background".
+struct Dataset {
+  DatasetSpec spec;
+  Graph graph;
+  std::vector<uint32_t> labels;
+};
+
+/// All registry entries in Table I order.
+std::vector<DatasetSpec> AllDatasetSpecs();
+
+/// Looks up a spec by name; check-fails on unknown names.
+DatasetSpec GetDatasetSpec(const std::string& name);
+
+/// Generates the named analogue deterministically from `seed`.
+/// `size_factor` rescales the vertex count (e.g. 0.1 for smoke runs); the
+/// default builds at the spec's scale.
+Dataset MakeDataset(const std::string& name, uint64_t seed,
+                    double size_factor = 1.0);
+
+}  // namespace tkc
+
+#endif  // TKC_GEN_DATASETS_H_

@@ -1,0 +1,309 @@
+#include "tkc/gen/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+Graph ErdosRenyi(VertexId n, double p, Rng& rng) {
+  Graph g(n);
+  if (p <= 0.0) return g;
+  for (VertexId u = 0; u < n; ++u) {
+    if (p >= 1.0) {
+      for (VertexId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+      continue;
+    }
+    // Geometric skipping over the row u: expected O(p * n) work.
+    double log1mp = std::log(1.0 - p);
+    VertexId v = u;
+    for (;;) {
+      double r = rng.NextDouble();
+      double skip = std::floor(std::log(1.0 - r) / log1mp);
+      if (skip > static_cast<double>(n)) break;
+      v += static_cast<VertexId>(skip) + 1;
+      if (v >= n) break;
+      g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph GnmRandom(VertexId n, size_t m, Rng& rng) {
+  TKC_CHECK(n >= 2 || m == 0);
+  Graph g(n);
+  const uint64_t max_edges =
+      static_cast<uint64_t>(n) * (n - 1) / 2;
+  TKC_CHECK_MSG(m <= max_edges, "GnmRandom: m exceeds the complete graph");
+  while (g.NumEdges() < m) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    if (u == v) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, Rng& rng) {
+  TKC_CHECK(edges_per_vertex >= 1);
+  TKC_CHECK(n > edges_per_vertex);
+  Graph g(n);
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  // Seed: a small clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      g.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < n; ++v) {
+    uint32_t added = 0;
+    while (added < edges_per_vertex) {
+      VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+      if (t == v) continue;
+      bool inserted = false;
+      g.AddEdge(v, t, &inserted);
+      if (inserted) {
+        endpoints.push_back(v);
+        endpoints.push_back(t);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph PowerLawCluster(VertexId n, uint32_t edges_per_vertex,
+                      double triad_prob, Rng& rng) {
+  TKC_CHECK(edges_per_vertex >= 1);
+  TKC_CHECK(n > edges_per_vertex);
+  Graph g(n);
+  std::vector<VertexId> endpoints;
+  for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+    for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+      g.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (VertexId v = edges_per_vertex + 1; v < n; ++v) {
+    uint32_t added = 0;
+    VertexId last_target = kInvalidVertex;
+    while (added < edges_per_vertex) {
+      VertexId t = kInvalidVertex;
+      if (last_target != kInvalidVertex && rng.NextBool(triad_prob)) {
+        // Triad formation: close a triangle through a neighbor of the
+        // previous target.
+        const auto& nbs = g.Neighbors(last_target);
+        if (!nbs.empty()) {
+          t = nbs[rng.NextBounded(nbs.size())].vertex;
+          if (t == v || g.HasEdge(v, t)) t = kInvalidVertex;
+        }
+      }
+      if (t == kInvalidVertex) {
+        t = endpoints[rng.NextBounded(endpoints.size())];
+        if (t == v) continue;
+      }
+      bool inserted = false;
+      g.AddEdge(v, t, &inserted);
+      if (inserted) {
+        endpoints.push_back(v);
+        endpoints.push_back(t);
+        last_target = t;
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+Graph PlantedPartition(uint32_t num_communities, uint32_t community_size,
+                       double p_in, double p_out, Rng& rng,
+                       std::vector<uint32_t>* community_of) {
+  const VertexId n = num_communities * community_size;
+  Graph g(n);
+  if (community_of != nullptr) {
+    community_of->assign(n, 0);
+    for (VertexId v = 0; v < n; ++v) (*community_of)[v] = v / community_size;
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      bool same = (u / community_size) == (v / community_size);
+      if (rng.NextBool(same ? p_in : p_out)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph Rmat(uint32_t scale, uint32_t edge_factor, double a, double b, double c,
+           Rng& rng) {
+  TKC_CHECK(scale >= 1 && scale <= 30);
+  TKC_CHECK(a + b + c < 1.0 + 1e-9);
+  const VertexId n = static_cast<VertexId>(1u) << scale;
+  const uint64_t target = static_cast<uint64_t>(n) * edge_factor;
+  Graph g(n);
+  uint64_t attempts = 0;
+  const uint64_t max_attempts = target * 8;
+  while (g.NumEdges() < target && attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0, v = 0;
+    for (uint32_t bit = 0; bit < scale; ++bit) {
+      double r = rng.NextDouble();
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    if (u == v) continue;
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph WattsStrogatz(VertexId n, uint32_t k_half, double beta, Rng& rng) {
+  TKC_CHECK(n > 2 * k_half);
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t off = 1; off <= k_half; ++off) {
+      g.AddEdge(v, (v + off) % n);
+    }
+  }
+  // Rewire: each lattice edge (v, v+off) moves its far endpoint to a
+  // uniform non-neighbor with probability beta.
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t off = 1; off <= k_half; ++off) {
+      if (!rng.NextBool(beta)) continue;
+      VertexId old_target = (v + off) % n;
+      if (!g.HasEdge(v, old_target)) continue;  // already rewired away
+      // Find a fresh target; give up after a few tries on dense rings.
+      for (int tries = 0; tries < 32; ++tries) {
+        VertexId t = static_cast<VertexId>(rng.NextBounded(n));
+        if (t == v || g.HasEdge(v, t)) continue;
+        g.RemoveEdge(v, old_target);
+        g.AddEdge(v, t);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+Graph RandomGeometric(VertexId n, double radius, Rng& rng,
+                      std::vector<double>* coords) {
+  Graph g(n);
+  std::vector<double> xy(2 * n);
+  for (double& c : xy) c = rng.NextDouble();
+  const double r2 = radius * radius;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      double dx = xy[2 * u] - xy[2 * v];
+      double dy = xy[2 * u + 1] - xy[2 * v + 1];
+      if (dx * dx + dy * dy <= r2) g.AddEdge(u, v);
+    }
+  }
+  if (coords != nullptr) *coords = std::move(xy);
+  return g;
+}
+
+Graph CollaborationGraph(VertexId num_authors, size_t num_papers,
+                         uint32_t min_team, uint32_t max_team, Rng& rng) {
+  TKC_CHECK(min_team >= 2 && min_team <= max_team);
+  TKC_CHECK(num_authors >= max_team);
+  Graph g(num_authors);
+  // Author activity list: authors appear once per authorship, so sampling
+  // from it is preferential attachment on productivity. A uniform draw
+  // keeps newcomers entering.
+  std::vector<VertexId> activity;
+  std::vector<VertexId> team;
+  for (size_t p = 0; p < num_papers; ++p) {
+    uint32_t size =
+        static_cast<uint32_t>(rng.NextInRange(min_team, max_team));
+    team.clear();
+    while (team.size() < size) {
+      VertexId author;
+      if (!activity.empty() && rng.NextBool(0.6)) {
+        author = activity[rng.NextBounded(activity.size())];
+      } else {
+        author = static_cast<VertexId>(rng.NextBounded(num_authors));
+      }
+      if (std::find(team.begin(), team.end(), author) == team.end()) {
+        team.push_back(author);
+      }
+    }
+    PlantClique(g, team);
+    for (VertexId a : team) activity.push_back(a);
+  }
+  return g;
+}
+
+Graph CompleteGraph(VertexId n) {
+  Graph g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph CycleGraph(VertexId n) {
+  TKC_CHECK(n >= 3);
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) g.AddEdge(v, (v + 1) % n);
+  return g;
+}
+
+Graph PathGraph(VertexId n) {
+  Graph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+Graph StarGraph(VertexId leaves) {
+  Graph g(leaves + 1);
+  for (VertexId v = 1; v <= leaves; ++v) g.AddEdge(0, v);
+  return g;
+}
+
+Graph PaperFigure2Graph() {
+  constexpr VertexId kA = 0, kB = 1, kC = 2, kD = 3, kE = 4;
+  Graph g(5);
+  g.AddEdge(kA, kB);
+  g.AddEdge(kA, kC);
+  g.AddEdge(kB, kC);
+  g.AddEdge(kB, kD);
+  g.AddEdge(kB, kE);
+  g.AddEdge(kC, kD);
+  g.AddEdge(kC, kE);
+  g.AddEdge(kD, kE);
+  return g;
+}
+
+void PlantClique(Graph& g, const std::vector<VertexId>& members) {
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      g.AddEdge(members[i], members[j]);
+    }
+  }
+}
+
+std::vector<VertexId> PlantRandomClique(Graph& g, uint32_t size, Rng& rng) {
+  TKC_CHECK(size <= g.NumVertices());
+  std::vector<uint64_t> picks = rng.SampleDistinct(g.NumVertices(), size);
+  std::vector<VertexId> members(picks.begin(), picks.end());
+  std::sort(members.begin(), members.end());
+  PlantClique(g, members);
+  return members;
+}
+
+}  // namespace tkc

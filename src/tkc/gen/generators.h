@@ -1,0 +1,88 @@
+#ifndef TKC_GEN_GENERATORS_H_
+#define TKC_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+
+// Deterministic synthetic graph generators. Every generator takes an Rng so
+// experiments replay exactly from a seed; none of them touch global state.
+
+/// G(n, p): every pair independently with probability p.
+Graph ErdosRenyi(VertexId n, double p, Rng& rng);
+
+/// G(n, m): exactly m distinct uniform edges.
+Graph GnmRandom(VertexId n, size_t m, Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `edges_per_vertex` existing vertices chosen proportionally to degree.
+Graph BarabasiAlbert(VertexId n, uint32_t edges_per_vertex, Rng& rng);
+
+/// Holme–Kim power-law cluster model: preferential attachment where each
+/// attachment is followed, with probability `triad_prob`, by a "triad
+/// formation" step that links to a neighbor of the previous target. This is
+/// the workhorse for triangle-rich scale-free analogues of the paper's
+/// social/collaboration datasets.
+Graph PowerLawCluster(VertexId n, uint32_t edges_per_vertex,
+                      double triad_prob, Rng& rng);
+
+/// Planted-partition (stochastic block) model: `num_communities` blocks of
+/// `community_size` vertices; intra-block edge probability `p_in`,
+/// inter-block `p_out`. If `community_of` is non-null it receives the block
+/// id of every vertex.
+Graph PlantedPartition(uint32_t num_communities, uint32_t community_size,
+                       double p_in, double p_out, Rng& rng,
+                       std::vector<uint32_t>* community_of = nullptr);
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.): `scale` gives
+/// 2^scale vertices; `edge_factor` edges per vertex are dropped into
+/// recursively chosen quadrants with probabilities (a,b,c,1-a-b-c).
+/// Duplicate draws and self-loops are rejected, so the live edge count can
+/// land slightly under the target. The classic skewed web-graph analogue.
+Graph Rmat(uint32_t scale, uint32_t edge_factor, double a, double b, double c,
+           Rng& rng);
+
+/// Watts–Strogatz small world: ring of n vertices, each linked to its
+/// `k_half` nearest neighbors on each side, with every edge rewired to a
+/// random target with probability `beta`. High clustering, short paths.
+Graph WattsStrogatz(VertexId n, uint32_t k_half, double beta, Rng& rng);
+
+/// Random geometric graph on the unit square: vertices get uniform 2D
+/// positions; pairs closer than `radius` connect. The natural model for
+/// the Stocks correlation analogue (instruments cluster in sector
+/// neighborhoods). Positions are returned through `coords` (x0,y0,x1,...)
+/// when non-null. O(n^2) — intended for the small/medium datasets.
+Graph RandomGeometric(VertexId n, double radius, Rng& rng,
+                      std::vector<double>* coords = nullptr);
+
+/// Collaboration-network model (DBLP/Astro analogues): `num_papers` teams
+/// of `min_team`..`max_team` authors are drawn with preferential attachment
+/// over author activity, and each team becomes a clique. Produces the
+/// many-small-cliques structure of co-authorship graphs.
+Graph CollaborationGraph(VertexId num_authors, size_t num_papers,
+                         uint32_t min_team, uint32_t max_team, Rng& rng);
+
+Graph CompleteGraph(VertexId n);
+Graph CycleGraph(VertexId n);
+Graph PathGraph(VertexId n);
+Graph StarGraph(VertexId leaves);
+
+/// The worked example of the paper's Figure 2: vertices A..E = 0..4 with
+/// edges {AB, AC, BC, BD, BE, CD, CE, DE}. Algorithm 1 must yield
+/// κ(AB) = κ(AC) = 1 and κ = 2 on all remaining edges.
+Graph PaperFigure2Graph();
+
+/// Adds every missing edge among `members`, turning them into a clique.
+void PlantClique(Graph& g, const std::vector<VertexId>& members);
+
+/// Chooses `size` distinct vertices of `g` and plants a clique on them.
+/// Returns the chosen vertices (sorted).
+std::vector<VertexId> PlantRandomClique(Graph& g, uint32_t size, Rng& rng);
+
+}  // namespace tkc
+
+#endif  // TKC_GEN_GENERATORS_H_

@@ -1,0 +1,68 @@
+#include "tkc/graph/csr.h"
+
+#include <algorithm>
+
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.Degree(v);
+  }
+  entries_.resize(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto& adj = g.Neighbors(v);
+    std::copy(adj.begin(), adj.end(), entries_.begin() + offsets_[v]);
+  }
+  edge_capacity_ = g.EdgeCapacity();
+  edges_.assign(edge_capacity_, Edge{});
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
+}
+
+EdgeId CsrGraph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= NumVertices() || v >= NumVertices() || u == v) {
+    return kInvalidEdge;
+  }
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const Neighbor* it = std::lower_bound(
+      NeighborsBegin(u), NeighborsEnd(u), Neighbor{v, kInvalidEdge});
+  if (it == NeighborsEnd(u) || it->vertex != v) return kInvalidEdge;
+  return it->edge;
+}
+
+std::vector<uint32_t> CsrGraph::ComputeSupports() const {
+  std::vector<uint32_t> support(edge_capacity_, 0);
+  ForEachEdge([&](EdgeId e, const Edge& edge) {
+    ForEachCommonNeighbor(edge.u, edge.v,
+                          [&](VertexId w, EdgeId uw, EdgeId vw) {
+                            if (w > edge.v) {
+                              ++support[e];
+                              ++support[uw];
+                              ++support[vw];
+                            }
+                          });
+  });
+  return support;
+}
+
+uint64_t CsrGraph::CountTriangles() const {
+  uint64_t count = 0;
+  ForEachEdge([&](EdgeId, const Edge& edge) {
+    ForEachCommonNeighbor(edge.u, edge.v,
+                          [&](VertexId w, EdgeId, EdgeId) {
+                            count += (w > edge.v);
+                          });
+  });
+  return count;
+}
+
+Graph CsrGraph::ToGraph() const {
+  Graph g(NumVertices());
+  ForEachEdge([&](EdgeId, const Edge& edge) { g.AddEdge(edge.u, edge.v); });
+  return g;
+}
+
+}  // namespace tkc

@@ -1,0 +1,96 @@
+#ifndef TKC_GRAPH_CSR_H_
+#define TKC_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Immutable compressed-sparse-row snapshot of a Graph. Two uses:
+///  * cache-friendly read-only traversal for the static algorithms (one
+///    contiguous allocation instead of per-vertex vectors);
+///  * a frozen copy that keeps the *same EdgeIds* as the source graph, so
+///    per-edge attribute arrays (κ, order) remain valid against it.
+///
+/// Dead edge ids of the source are simply absent from the adjacency; the
+/// id space is inherited unchanged.
+class CsrGraph {
+ public:
+  /// Freezes `g`. O(|V| + |E|).
+  explicit CsrGraph(const Graph& g);
+
+  VertexId NumVertices() const {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+  size_t NumEdges() const { return entries_.size() / 2; }
+  size_t EdgeCapacity() const { return edge_capacity_; }
+
+  uint32_t Degree(VertexId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Sorted neighbor span of v.
+  const Neighbor* NeighborsBegin(VertexId v) const {
+    return entries_.data() + offsets_[v];
+  }
+  const Neighbor* NeighborsEnd(VertexId v) const {
+    return entries_.data() + offsets_[v + 1];
+  }
+
+  Edge GetEdge(EdgeId e) const { return edges_[e]; }
+  bool IsEdgeAlive(EdgeId e) const {
+    return e < edges_.size() && edges_[e].u != kInvalidVertex;
+  }
+
+  EdgeId FindEdge(VertexId u, VertexId v) const;
+
+  /// Invokes fn(w, uw_edge, vw_edge) per common neighbor (sorted merge).
+  template <typename Fn>
+  void ForEachCommonNeighbor(VertexId u, VertexId v, Fn&& fn) const {
+    const Neighbor* a = NeighborsBegin(u);
+    const Neighbor* ae = NeighborsEnd(u);
+    const Neighbor* b = NeighborsBegin(v);
+    const Neighbor* be = NeighborsEnd(v);
+    while (a != ae && b != be) {
+      if (a->vertex < b->vertex) {
+        ++a;
+      } else if (a->vertex > b->vertex) {
+        ++b;
+      } else {
+        fn(a->vertex, a->edge, b->edge);
+        ++a;
+        ++b;
+      }
+    }
+  }
+
+  /// Invokes fn(EdgeId, Edge) for every edge, increasing id order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      if (edges_[e].u != kInvalidVertex) fn(e, edges_[e]);
+    }
+  }
+
+  /// Per-edge triangle supports (same contract as ComputeEdgeSupports).
+  std::vector<uint32_t> ComputeSupports() const;
+
+  /// Total triangle count.
+  uint64_t CountTriangles() const;
+
+  /// Thaws back into a mutable Graph (EdgeIds are NOT preserved — the
+  /// result is a fresh graph with the same topology).
+  Graph ToGraph() const;
+
+ private:
+  std::vector<size_t> offsets_;    // |V|+1
+  std::vector<Neighbor> entries_;  // 2|E|, sorted per vertex
+  std::vector<Edge> edges_;        // by original EdgeId (holes preserved)
+  size_t edge_capacity_ = 0;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_CSR_H_

@@ -1,0 +1,19 @@
+#ifndef TKC_GRAPH_EDGE_EVENT_H_
+#define TKC_GRAPH_EDGE_EVENT_H_
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// One mutation of a dynamic graph — the unit the paper's update
+/// algorithms, the snapshot streams, and the churn generators exchange.
+struct EdgeEvent {
+  enum class Kind { kInsert, kRemove };
+  Kind kind;
+  VertexId u;
+  VertexId v;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_EDGE_EVENT_H_

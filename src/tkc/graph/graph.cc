@@ -1,0 +1,103 @@
+#include "tkc/graph/graph.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace tkc {
+
+namespace {
+
+// Locates `target` in the sorted adjacency list, returning its index or -1.
+std::ptrdiff_t FindNeighborIndex(const std::vector<Neighbor>& adj, VertexId target) {
+  auto it = std::lower_bound(adj.begin(), adj.end(),
+                             Neighbor{target, kInvalidEdge});
+  if (it == adj.end() || it->vertex != target) return -1;
+  return it - adj.begin();
+}
+
+}  // namespace
+
+VertexId Graph::AddVertex() {
+  adjacency_.emplace_back();
+  return static_cast<VertexId>(adjacency_.size() - 1);
+}
+
+void Graph::EnsureVertices(VertexId n) {
+  if (adjacency_.size() < n) adjacency_.resize(n);
+}
+
+EdgeId Graph::AddEdge(VertexId u, VertexId v, bool* inserted) {
+  TKC_CHECK_MSG(u != v, "self-loops are not supported");
+  EnsureVertices(std::max(u, v) + 1);
+  EdgeId existing = FindEdge(u, v);
+  if (existing != kInvalidEdge) {
+    if (inserted != nullptr) *inserted = false;
+    return existing;
+  }
+  if (u > v) std::swap(u, v);
+  EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v});
+  ++num_live_edges_;
+  auto& au = adjacency_[u];
+  au.insert(std::upper_bound(au.begin(), au.end(), Neighbor{v, id}),
+            Neighbor{v, id});
+  auto& av = adjacency_[v];
+  av.insert(std::upper_bound(av.begin(), av.end(), Neighbor{u, id}),
+            Neighbor{u, id});
+  if (inserted != nullptr) *inserted = true;
+  return id;
+}
+
+EdgeId Graph::RemoveEdge(VertexId u, VertexId v) {
+  EdgeId e = FindEdge(u, v);
+  if (e == kInvalidEdge) return kInvalidEdge;
+  RemoveEdgeById(e);
+  return e;
+}
+
+void Graph::RemoveEdgeById(EdgeId e) {
+  TKC_CHECK_MSG(IsEdgeAlive(e), "RemoveEdgeById on a dead edge id");
+  Edge edge = edges_[e];
+  auto& au = adjacency_[edge.u];
+  std::ptrdiff_t iu = FindNeighborIndex(au, edge.v);
+  TKC_DCHECK(iu >= 0);
+  au.erase(au.begin() + iu);
+  auto& av = adjacency_[edge.v];
+  std::ptrdiff_t iv = FindNeighborIndex(av, edge.u);
+  TKC_DCHECK(iv >= 0);
+  av.erase(av.begin() + iv);
+  edges_[e] = Edge{};  // tombstone
+  --num_live_edges_;
+}
+
+EdgeId Graph::FindEdge(VertexId u, VertexId v) const {
+  if (u >= adjacency_.size() || v >= adjacency_.size() || u == v) {
+    return kInvalidEdge;
+  }
+  // Search the smaller adjacency list.
+  const VertexId a = Degree(u) <= Degree(v) ? u : v;
+  const VertexId b = (a == u) ? v : u;
+  std::ptrdiff_t idx = FindNeighborIndex(adjacency_[a], b);
+  return idx < 0 ? kInvalidEdge : adjacency_[a][idx].edge;
+}
+
+std::vector<EdgeId> Graph::EdgeIds() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(num_live_edges_);
+  ForEachEdge([&](EdgeId e, const Edge&) { ids.push_back(e); });
+  return ids;
+}
+
+uint32_t Graph::CountCommonNeighbors(VertexId u, VertexId v) const {
+  uint32_t n = 0;
+  ForEachCommonNeighbor(u, v, [&](VertexId, EdgeId, EdgeId) { ++n; });
+  return n;
+}
+
+size_t Graph::TotalDegree() const {
+  size_t total = 0;
+  for (const auto& adj : adjacency_) total += adj.size();
+  return total;
+}
+
+}  // namespace tkc

@@ -1,0 +1,52 @@
+#include "tkc/graph/triangle.h"
+
+namespace tkc {
+
+uint32_t EdgeSupport(const Graph& g, EdgeId e) {
+  Edge edge = g.GetEdge(e);
+  return g.CountCommonNeighbors(edge.u, edge.v);
+}
+
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
+  std::vector<uint32_t> support(g.EdgeCapacity(), 0);
+  ForEachTriangle(g, [&](const Triangle& t) {
+    ++support[t.ab];
+    ++support[t.ac];
+    ++support[t.bc];
+  });
+  return support;
+}
+
+uint64_t CountTriangles(const Graph& g) {
+  uint64_t n = 0;
+  ForEachTriangle(g, [&](const Triangle&) { ++n; });
+  return n;
+}
+
+std::vector<Triangle> ListTriangles(const Graph& g) {
+  std::vector<Triangle> out;
+  ForEachTriangle(g, [&](const Triangle& t) { out.push_back(t); });
+  return out;
+}
+
+TriangleStats ComputeTriangleStats(const Graph& g) {
+  TriangleStats stats;
+  std::vector<uint32_t> support = ComputeEdgeSupports(g);
+  uint64_t total_support = 0;
+  g.ForEachEdge([&](EdgeId e, const Edge&) {
+    total_support += support[e];
+    if (support[e] > stats.max_edge_support) {
+      stats.max_edge_support = support[e];
+    }
+  });
+  // Every triangle contributes support to exactly 3 edges.
+  stats.triangle_count = total_support / 3;
+  stats.mean_edge_support =
+      g.NumEdges() == 0
+          ? 0.0
+          : static_cast<double>(total_support) / static_cast<double>(
+                                                     g.NumEdges());
+  return stats;
+}
+
+}  // namespace tkc

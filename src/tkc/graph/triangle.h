@@ -1,0 +1,69 @@
+#ifndef TKC_GRAPH_TRIANGLE_H_
+#define TKC_GRAPH_TRIANGLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// One triangle: vertices `a < b < c` and the three edge ids.
+struct Triangle {
+  VertexId a, b, c;
+  EdgeId ab, ac, bc;
+};
+
+/// Invokes `fn(VertexId w, EdgeId e1, EdgeId e2)` for each triangle on the
+/// live edge `e = {u,v}`, where `w` is the apex, `e1 = {u,w}`, `e2 = {v,w}`.
+template <typename Fn>
+void ForEachTriangleOnEdge(const Graph& g, EdgeId e, Fn&& fn) {
+  Edge edge = g.GetEdge(e);
+  g.ForEachCommonNeighbor(edge.u, edge.v, std::forward<Fn>(fn));
+}
+
+/// Number of triangles containing edge `e` (the edge's *support*).
+uint32_t EdgeSupport(const Graph& g, EdgeId e);
+
+/// Per-edge supports, indexed by EdgeId (size = g.EdgeCapacity(); dead ids
+/// hold 0). Each triangle is discovered once via the oriented (forward)
+/// algorithm and credited to its three edges, so the cost is
+/// O(sum over edges of min-degree) — the paper's "linear in |Tri|" regime.
+std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
+
+/// Total number of distinct triangles in the graph.
+uint64_t CountTriangles(const Graph& g);
+
+/// Invokes `fn(const Triangle&)` exactly once per triangle in the graph.
+/// Enumeration is ordered: a < b < c.
+template <typename Fn>
+void ForEachTriangle(const Graph& g, Fn&& fn) {
+  // Forward algorithm on the natural vertex order: for each edge {u,v} with
+  // u < v, scan common neighbors w and keep only w > v, so every triangle
+  // is reported at its lexicographically smallest edge.
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    g.ForEachCommonNeighbor(edge.u, edge.v,
+                            [&](VertexId w, EdgeId uw, EdgeId vw) {
+                              if (w > edge.v) {
+                                fn(Triangle{edge.u, edge.v, w, e, uw, vw});
+                              }
+                            });
+  });
+}
+
+/// Lists all triangles (see ForEachTriangle for ordering).
+std::vector<Triangle> ListTriangles(const Graph& g);
+
+/// Global and per-vertex clustering statistics; used by generators and by
+/// dataset summaries in the benchmark harnesses.
+struct TriangleStats {
+  uint64_t triangle_count = 0;
+  uint32_t max_edge_support = 0;
+  double mean_edge_support = 0.0;
+};
+
+TriangleStats ComputeTriangleStats(const Graph& g);
+
+}  // namespace tkc
+
+#endif  // TKC_GRAPH_TRIANGLE_H_

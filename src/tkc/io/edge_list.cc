@@ -1,0 +1,70 @@
+#include "tkc/io/edge_list.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tkc {
+
+std::optional<Graph> ReadEdgeList(std::istream& in) {
+  Graph g;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long u = -1, v = -1;
+    if (!(fields >> u >> v) || u < 0 || v < 0 ||
+        u > static_cast<long long>(kInvalidVertex) - 1 ||
+        v > static_cast<long long>(kInvalidVertex) - 1) {
+      return std::nullopt;
+    }
+    if (u == v) continue;  // drop self-loops
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return g;
+}
+
+std::optional<Graph> ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# " << g.NumVertices() << ' ' << g.NumEdges() << '\n';
+  g.ForEachEdge([&](EdgeId, const Edge& e) {
+    out << e.u << ' ' << e.v << '\n';
+  });
+}
+
+bool WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteEdgeList(g, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<uint32_t>> ReadVertexAttributes(
+    std::istream& in, VertexId num_vertices) {
+  std::vector<uint32_t> attrs(num_vertices, 0);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long v = -1, a = -1;
+    if (!(fields >> v >> a) || v < 0 || a < 0) return std::nullopt;
+    if (v >= static_cast<long long>(num_vertices)) return std::nullopt;
+    attrs[static_cast<size_t>(v)] = static_cast<uint32_t>(a);
+  }
+  return attrs;
+}
+
+void WriteVertexAttributes(const std::vector<uint32_t>& attribute_of,
+                           std::ostream& out) {
+  for (size_t v = 0; v < attribute_of.size(); ++v) {
+    out << v << ' ' << attribute_of[v] << '\n';
+  }
+}
+
+}  // namespace tkc

@@ -1,0 +1,41 @@
+#ifndef TKC_IO_EDGE_LIST_H_
+#define TKC_IO_EDGE_LIST_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Plain-text edge list: one "u v" pair per line; blank lines and lines
+/// starting with '#' or '%' are ignored (SNAP / Pajek-style headers).
+/// Duplicate pairs and self-loops in the input are skipped silently —
+/// public datasets such as the ones in Table I routinely contain both.
+
+/// Parses from a stream. Returns std::nullopt on malformed input.
+std::optional<Graph> ReadEdgeList(std::istream& in);
+
+/// Reads from a file path.
+std::optional<Graph> ReadEdgeListFile(const std::string& path);
+
+/// Writes "u v" lines (live edges, increasing EdgeId), with a "# vertices
+/// edges" comment header.
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+bool WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Per-vertex integer attribute file: "vertex attribute" per line, used by
+/// the labeled (PPI-complex) studies. Vertices absent from the file get
+/// attribute 0.
+std::optional<std::vector<uint32_t>> ReadVertexAttributes(
+    std::istream& in, VertexId num_vertices);
+
+void WriteVertexAttributes(const std::vector<uint32_t>& attribute_of,
+                           std::ostream& out);
+
+}  // namespace tkc
+
+#endif  // TKC_IO_EDGE_LIST_H_

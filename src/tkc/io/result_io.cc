@@ -1,0 +1,85 @@
+#include "tkc/io/result_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tkc {
+
+void WriteDecomposition(const Graph& g, const TriangleCoreResult& result,
+                        std::ostream& out) {
+  out << "# tkc-decomposition " << g.NumEdges() << ' ' << result.max_kappa
+      << ' ' << result.triangle_count << '\n';
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    out << edge.u << ' ' << edge.v << ' ' << result.kappa[e] << ' '
+        << result.order[e] << '\n';
+  });
+}
+
+bool WriteDecompositionFile(const Graph& g, const TriangleCoreResult& result,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteDecomposition(g, result, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<TriangleCoreResult> ReadDecomposition(const Graph& g,
+                                                    std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) return std::nullopt;
+  std::istringstream header(line);
+  std::string hash, tag;
+  size_t edges = 0;
+  TriangleCoreResult result;
+  if (!(header >> hash >> tag >> edges >> result.max_kappa >>
+        result.triangle_count) ||
+      hash != "#" || tag != "tkc-decomposition" || edges != g.NumEdges()) {
+    return std::nullopt;
+  }
+  result.kappa.assign(g.EdgeCapacity(), 0);
+  result.order.assign(g.EdgeCapacity(), kInvalidOrder);
+  size_t seen = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    long long u = -1, v = -1, kappa = -1, order = -1;
+    if (!(fields >> u >> v >> kappa >> order) || u < 0 || v < 0 ||
+        kappa < 0 || order < 0) {
+      return std::nullopt;
+    }
+    EdgeId e = g.FindEdge(static_cast<VertexId>(u),
+                          static_cast<VertexId>(v));
+    if (e == kInvalidEdge) return std::nullopt;           // unknown edge
+    if (result.order[e] != kInvalidOrder) return std::nullopt;  // dup
+    if (static_cast<size_t>(order) >= edges) return std::nullopt;
+    result.kappa[e] = static_cast<uint32_t>(kappa);
+    result.order[e] = static_cast<uint32_t>(order);
+    ++seen;
+  }
+  if (seen != edges) return std::nullopt;
+  // Rebuild the peel sequence; order values must form a permutation.
+  result.peel_sequence.assign(edges, kInvalidEdge);
+  bool valid = true;
+  g.ForEachEdge([&](EdgeId e, const Edge&) {
+    uint32_t pos = result.order[e];
+    if (pos >= edges || result.peel_sequence[pos] != kInvalidEdge) {
+      valid = false;
+      return;
+    }
+    result.peel_sequence[pos] = e;
+  });
+  if (!valid) return std::nullopt;
+  return result;
+}
+
+std::optional<TriangleCoreResult> ReadDecompositionFile(
+    const Graph& g, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadDecomposition(g, in);
+}
+
+}  // namespace tkc

@@ -1,0 +1,39 @@
+#ifndef TKC_IO_RESULT_IO_H_
+#define TKC_IO_RESULT_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "tkc/core/triangle_core.h"
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Persists a decomposition next to its graph so pipelines can reuse κ
+/// without re-peeling (and so dynamic sessions can resume from a
+/// checkpoint). Format:
+///
+///   # tkc-decomposition <live-edges> <max-kappa> <triangles>
+///   u v kappa order
+///   ...
+///
+/// Reading validates the payload against the *same* graph: every (u,v)
+/// must be a live edge, every live edge must appear exactly once, and the
+/// order values must form a permutation of 0..|E|-1.
+
+void WriteDecomposition(const Graph& g, const TriangleCoreResult& result,
+                        std::ostream& out);
+
+bool WriteDecompositionFile(const Graph& g, const TriangleCoreResult& result,
+                            const std::string& path);
+
+std::optional<TriangleCoreResult> ReadDecomposition(const Graph& g,
+                                                    std::istream& in);
+
+std::optional<TriangleCoreResult> ReadDecompositionFile(
+    const Graph& g, const std::string& path);
+
+}  // namespace tkc
+
+#endif  // TKC_IO_RESULT_IO_H_

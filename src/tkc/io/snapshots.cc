@@ -1,0 +1,79 @@
+#include "tkc/io/snapshots.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace tkc {
+
+Graph SnapshotStream::Materialize(size_t index) const {
+  Graph g = base;
+  for (size_t i = 0; i < index && i < deltas.size(); ++i) {
+    g = ApplyEvents(std::move(g), deltas[i]);
+  }
+  return g;
+}
+
+std::optional<SnapshotStream> ReadSnapshotStream(std::istream& in) {
+  SnapshotStream stream;
+  std::string line;
+  bool in_delta = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line[0] == '@') {
+      stream.deltas.emplace_back();
+      in_delta = true;
+      continue;
+    }
+    std::istringstream fields(line);
+    if (in_delta) {
+      char op = 0;
+      long long u = -1, v = -1;
+      if (!(fields >> op >> u >> v) || (op != '+' && op != '-') || u < 0 ||
+          v < 0 || u == v) {
+        return std::nullopt;
+      }
+      stream.deltas.back().push_back(
+          {op == '+' ? EdgeEvent::Kind::kInsert : EdgeEvent::Kind::kRemove,
+           static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    } else {
+      long long u = -1, v = -1;
+      if (!(fields >> u >> v) || u < 0 || v < 0) return std::nullopt;
+      if (u == v) continue;
+      stream.base.AddEdge(static_cast<VertexId>(u),
+                          static_cast<VertexId>(v));
+    }
+  }
+  return stream;
+}
+
+std::optional<SnapshotStream> ReadSnapshotStreamFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadSnapshotStream(in);
+}
+
+void WriteSnapshotStream(const SnapshotStream& stream, std::ostream& out) {
+  out << "# snapshot-stream\n";
+  stream.base.ForEachEdge([&](EdgeId, const Edge& e) {
+    out << e.u << ' ' << e.v << '\n';
+  });
+  for (size_t i = 0; i < stream.deltas.size(); ++i) {
+    out << "@ " << (i + 1) << '\n';
+    for (const EdgeEvent& ev : stream.deltas[i]) {
+      out << (ev.kind == EdgeEvent::Kind::kInsert ? '+' : '-') << ' ' << ev.u
+          << ' ' << ev.v << '\n';
+    }
+  }
+}
+
+bool WriteSnapshotStreamFile(const SnapshotStream& stream,
+                             const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteSnapshotStream(stream, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tkc

@@ -1,0 +1,47 @@
+#ifndef TKC_IO_SNAPSHOTS_H_
+#define TKC_IO_SNAPSHOTS_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tkc/gen/dynamic_gen.h"
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Streamed dynamic-graph format: a base edge list followed by timestamped
+/// event sections,
+///
+///   # snapshot-stream
+///   <base edge list lines>
+///   @ 1
+///   + u v
+///   - u v
+///   @ 2
+///   ...
+///
+/// Each `@ t` opens the delta from snapshot t-1 to t. This is the on-disk
+/// form of the Wiki/DBLP year-pair studies.
+struct SnapshotStream {
+  Graph base;
+  std::vector<std::vector<EdgeEvent>> deltas;  // deltas[i] = step i -> i+1
+
+  /// Number of materializable snapshots (base counts as one).
+  size_t NumSnapshots() const { return deltas.size() + 1; }
+
+  /// Replays deltas [0, index) on the base; index 0 = base itself.
+  Graph Materialize(size_t index) const;
+};
+
+std::optional<SnapshotStream> ReadSnapshotStream(std::istream& in);
+std::optional<SnapshotStream> ReadSnapshotStreamFile(const std::string& path);
+
+void WriteSnapshotStream(const SnapshotStream& stream, std::ostream& out);
+bool WriteSnapshotStreamFile(const SnapshotStream& stream,
+                             const std::string& path);
+
+}  // namespace tkc
+
+#endif  // TKC_IO_SNAPSHOTS_H_

@@ -1,0 +1,43 @@
+#ifndef TKC_PATTERNS_EVENTS_H_
+#define TKC_PATTERNS_EVENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+#include "tkc/patterns/template_clique.h"
+
+namespace tkc {
+
+/// A structural event detected between two snapshots — the "probing an
+/// evolving network for interesting or anomalous behavior" application the
+/// paper motivates template patterns with (Section V).
+struct CliqueEvent {
+  enum class Type { kNewForm, kBridge, kNewJoin };
+  Type type;
+  /// Estimated clique size of the event region (peak co_clique_size).
+  uint32_t clique_size = 0;
+  /// Vertices of the densest template core realizing the event.
+  std::vector<VertexId> vertices;
+};
+
+std::string ToString(CliqueEvent::Type type);
+
+struct EventDetectorOptions {
+  /// Only report events whose estimated clique size reaches this.
+  uint32_t min_clique_size = 4;
+  /// Cap on reported events per type (densest first).
+  size_t max_events_per_type = 8;
+};
+
+/// Runs all three template specs between consecutive snapshots and turns
+/// every dense special region into an event. Events are ordered by
+/// decreasing clique size within each type.
+std::vector<CliqueEvent> DetectEvents(const Graph& old_graph,
+                                      const Graph& new_graph,
+                                      const EventDetectorOptions& options = {});
+
+}  // namespace tkc
+
+#endif  // TKC_PATTERNS_EVENTS_H_

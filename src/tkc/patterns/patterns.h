@@ -1,0 +1,49 @@
+#ifndef TKC_PATTERNS_PATTERNS_H_
+#define TKC_PATTERNS_PATTERNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkc/gen/dynamic_gen.h"
+#include "tkc/patterns/template_clique.h"
+
+namespace tkc {
+
+/// Builds the labeled graph for Algorithm 4 from an evolving pair: NG =
+/// `pair.new_graph`, edges in `pair.added` marked kNew, vertices beyond
+/// `pair.old_graph.NumVertices()` marked kNew, and old-graph component ids
+/// recorded for the Bridge predicate.
+LabeledGraph LabelFromSnapshots(const SnapshotPair& pair);
+
+/// Same, from two explicit snapshots; every edge of `new_graph` missing
+/// from `old_graph` is kNew.
+LabeledGraph LabelFromGraphs(const Graph& old_graph, const Graph& new_graph);
+
+/// Static attribute labeling (Figure 12's PPI study): `attribute_of` maps
+/// each vertex to its complex/community; an edge is "new" when its
+/// endpoints carry different attributes, and the Bridge predicate treats
+/// each attribute as its own original component.
+LabeledGraph LabelFromAttributes(const Graph& g,
+                                 const std::vector<uint32_t>& attribute_of);
+
+/// New Form Clique (Figure 4(a)/(d)): cliques formed entirely by new edges
+/// among original vertices. Characteristic triangle: 3 new edges, 3
+/// original vertices. No other triangle shape is possible.
+TemplateSpec NewFormSpec();
+
+/// Bridge Clique (Figure 4(b)/(e)): cliques whose vertices come from two
+/// disconnected parts of OG. Characteristic triangle: 3 original vertices,
+/// exactly 1 original edge and 2 new edges, with the apex vertex in a
+/// different OG component than the original edge. Possible triangle: 3
+/// original edges.
+TemplateSpec BridgeSpec();
+
+/// New Join Clique (Figure 4(c)/(f)): an OG clique joined by new vertices.
+/// Characteristic triangle: one new vertex attached by 2 new edges to an
+/// original edge (a 2-clique of OG). Possible triangles: all-new edges, or
+/// all-original edges.
+TemplateSpec NewJoinSpec();
+
+}  // namespace tkc
+
+#endif  // TKC_PATTERNS_PATTERNS_H_

@@ -1,0 +1,70 @@
+#ifndef TKC_PATTERNS_TEMPLATE_CLIQUE_H_
+#define TKC_PATTERNS_TEMPLATE_CLIQUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tkc/core/triangle_core.h"
+#include "tkc/graph/graph.h"
+#include "tkc/graph/triangle.h"
+
+namespace tkc {
+
+/// Whether an edge/vertex belongs to the original snapshot (black in
+/// Figure 4) or is newly added (red). For static attribute studies
+/// (Figure 12) "new" means "inter-attribute" per the paper's re-labeling.
+enum class Origin : uint8_t { kOriginal, kNew };
+
+/// The evolving (or attribute-labeled) graph Algorithm 4 runs on: the new
+/// snapshot NG plus per-edge/per-vertex origin labels and, for Bridge
+/// patterns, the connected-component id each original vertex had in OG.
+struct LabeledGraph {
+  Graph graph;  // NG
+  std::vector<Origin> edge_origin;    // per EdgeId of `graph`
+  std::vector<Origin> vertex_origin;  // per VertexId of `graph`
+  /// Component id of each vertex in the original graph OG; kInvalidVertex
+  /// for new vertices. Only required by specs whose predicates consult it.
+  std::vector<uint32_t> old_component;
+
+  Origin EdgeOriginOf(EdgeId e) const { return edge_origin[e]; }
+  bool IsNewEdge(EdgeId e) const { return edge_origin[e] == Origin::kNew; }
+  bool IsNewVertex(VertexId v) const {
+    return vertex_origin[v] == Origin::kNew;
+  }
+};
+
+/// A template pattern (Section V): `characteristic` identifies the
+/// triangles that anchor the pattern (every pattern-clique vertex lies in
+/// one); `possible` admits the additional triangle shapes that may complete
+/// pattern cliques (evaluated only on triangles whose vertices are already
+/// special). Either predicate sees the labeled graph and the triangle.
+struct TemplateSpec {
+  std::string name;
+  std::function<bool(const LabeledGraph&, const Triangle&)> characteristic;
+  std::function<bool(const LabeledGraph&, const Triangle&)> possible;
+};
+
+/// Output of Algorithm 4.
+struct TemplateDetectionResult {
+  /// co_clique_size per EdgeId of NG: κ_spe(e)+2 for special edges, 0
+  /// otherwise — ready for BuildDensityPlot (step 14).
+  std::vector<uint32_t> co_clique_size;
+  /// κ within the special subgraph G_spe, per NG EdgeId (0 if not special).
+  std::vector<uint32_t> kappa_special;
+  std::vector<EdgeId> special_edges;      // sorted
+  std::vector<VertexId> special_vertices; // sorted
+  uint64_t characteristic_triangles = 0;
+  uint64_t possible_triangles = 0;
+};
+
+/// Algorithm 4: marks characteristic triangles, extends with possible
+/// triangles over special vertices, builds G_spe, runs Algorithm 1 on it
+/// and maps κ back to NG's edges.
+TemplateDetectionResult DetectTemplateCliques(const LabeledGraph& lg,
+                                              const TemplateSpec& spec);
+
+}  // namespace tkc
+
+#endif  // TKC_PATTERNS_TEMPLATE_CLIQUE_H_

@@ -1,0 +1,42 @@
+#ifndef TKC_UTIL_CHECK_H_
+#define TKC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight always-on assertion macros.
+//
+// The library does not use exceptions (per the project style); invariant
+// violations indicate programmer error and abort with a message pointing at
+// the failing condition. `TKC_CHECK` is kept in release builds because the
+// algorithms in this library rely on subtle invariants (Theorem 1, Rule 0)
+// whose silent violation would corrupt results rather than crash.
+
+#define TKC_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TKC_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define TKC_CHECK_MSG(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TKC_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define TKC_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define TKC_DCHECK(cond) TKC_CHECK(cond)
+#endif
+
+#endif  // TKC_UTIL_CHECK_H_

@@ -1,0 +1,118 @@
+#include "tkc/util/random.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    x = SplitMix64(x);
+    s = x;
+  }
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  TKC_DCHECK(bound > 0);
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  TKC_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t population, uint64_t count) {
+  TKC_CHECK(count <= population);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (count * 3 >= population) {
+    // Dense: partial Fisher-Yates over the full population.
+    std::vector<uint64_t> all(population);
+    for (uint64_t i = 0; i < population; ++i) all[i] = i;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t j = i + NextBounded(population - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse: Floyd's algorithm with a hash set membership test.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  for (uint64_t j = population - count; j < population; ++j) {
+    uint64_t t = NextBounded(j + 1);
+    uint64_t pick = seen.insert(t).second ? t : j;
+    if (pick != t) seen.insert(pick);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+uint64_t Rng::NextPowerLaw(double gamma, uint64_t cap) {
+  TKC_CHECK(gamma > 1.0);
+  TKC_CHECK(cap >= 1);
+  // Inverse CDF of continuous Pareto on [1, inf), truncated by rejection.
+  for (;;) {
+    double u = NextDouble();
+    double x = std::pow(1.0 - u, -1.0 / (gamma - 1.0));
+    if (x <= static_cast<double>(cap) + 1.0) {
+      uint64_t v = static_cast<uint64_t>(x);
+      if (v < 1) v = 1;
+      if (v > cap) v = cap;
+      return v;
+    }
+  }
+}
+
+}  // namespace tkc

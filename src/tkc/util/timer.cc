@@ -1,0 +1,4 @@
+#include "tkc/util/timer.h"
+
+// Timer is header-only; this translation unit exists so the build file can
+// list one .cc per module uniformly.

@@ -1,0 +1,31 @@
+#ifndef TKC_UTIL_TIMER_H_
+#define TKC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tkc {
+
+/// Wall-clock stopwatch used by the benchmark harnesses.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_TIMER_H_

@@ -1,0 +1,59 @@
+#include "tkc/viz/ascii_chart.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace tkc {
+
+std::string RenderAsciiChart(const DensityPlot& plot,
+                             const AsciiChartOptions& options) {
+  const size_t n = plot.points.size();
+  std::ostringstream out;
+  if (n == 0 || options.width == 0 || options.height == 0) {
+    out << "(empty plot)\n";
+    return out.str();
+  }
+  const uint32_t max_value = std::max(plot.MaxValue(), 1u);
+  const size_t cols = std::min(options.width, n);
+
+  // Downsample: column c covers points [c*n/cols, (c+1)*n/cols) and shows
+  // their max so narrow peaks stay visible.
+  std::vector<uint32_t> column(cols, 0);
+  for (size_t c = 0; c < cols; ++c) {
+    size_t lo = c * n / cols;
+    size_t hi = std::max(lo + 1, (c + 1) * n / cols);
+    for (size_t i = lo; i < hi && i < n; ++i) {
+      column[c] = std::max(column[c], plot.points[i].value);
+    }
+  }
+
+  for (size_t row = 0; row < options.height; ++row) {
+    // Row 0 is the top; a column is marked when its value reaches the
+    // row's threshold.
+    double threshold =
+        static_cast<double>(options.height - row) / options.height * max_value;
+    if (options.show_axis) {
+      uint32_t label = static_cast<uint32_t>(threshold + 0.5);
+      out << (row % 4 == 0 ? std::to_string(label) : std::string());
+      out << std::string(
+          6 - std::min<size_t>(
+                  6, (row % 4 == 0 ? std::to_string(label).size() : 0)),
+          ' ');
+      out << '|';
+    }
+    for (size_t c = 0; c < cols; ++c) {
+      out << (static_cast<double>(column[c]) >= threshold ? options.mark
+                                                          : ' ');
+    }
+    out << '\n';
+  }
+  if (options.show_axis) {
+    out << std::string(6, ' ') << '+' << std::string(cols, '-') << '\n';
+    out << std::string(7, ' ') << "vertices in traversal order (n=" << n
+        << ", max co_clique_size=" << max_value << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace tkc

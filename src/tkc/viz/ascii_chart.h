@@ -1,0 +1,27 @@
+#ifndef TKC_VIZ_ASCII_CHART_H_
+#define TKC_VIZ_ASCII_CHART_H_
+
+#include <string>
+
+#include "tkc/viz/density_plot.h"
+
+namespace tkc {
+
+/// Terminal rendering options for a density plot.
+struct AsciiChartOptions {
+  size_t width = 100;   // columns (plot is downsampled to fit)
+  size_t height = 16;   // rows
+  char mark = '#';
+  bool show_axis = true;
+};
+
+/// Renders the plot as a column chart: X is traversal order, Y is
+/// co_clique_size; each column shows the maximum value of the plot points
+/// it covers. The examples and benches use this to show the Figure 6/7
+/// plateau structure directly in the terminal.
+std::string RenderAsciiChart(const DensityPlot& plot,
+                             const AsciiChartOptions& options = {});
+
+}  // namespace tkc
+
+#endif  // TKC_VIZ_ASCII_CHART_H_

@@ -1,0 +1,109 @@
+#include "tkc/viz/graph_draw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace tkc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+const char* kGroupColors[] = {"#1f77b4", "#2ca02c", "#ff7f0e", "#9467bd",
+                              "#8c564b", "#17becf", "#bcbd22", "#e377c2"};
+
+}  // namespace
+
+std::string DrawSubgraphSvg(const Graph& g,
+                            const std::vector<VertexId>& vertices,
+                            const DrawOptions& options) {
+  const double size = options.size;
+  const double cx = size / 2, cy = size / 2 + 10;
+
+  // Group the vertices (group 0 = default when no groups given).
+  std::map<uint32_t, std::vector<VertexId>> groups;
+  for (VertexId v : vertices) {
+    uint32_t group =
+        v < options.vertex_group.size() ? options.vertex_group[v] : 0;
+    groups[group].push_back(v);
+  }
+
+  // Positions: one circle when a single group; otherwise each group gets a
+  // sub-circle placed around the canvas center.
+  std::map<VertexId, std::pair<double, double>> pos;
+  if (groups.size() == 1) {
+    const auto& members = groups.begin()->second;
+    double radius = size * 0.36;
+    for (size_t i = 0; i < members.size(); ++i) {
+      double angle = 2 * kPi * i / members.size() - kPi / 2;
+      pos[members[i]] = {cx + radius * std::cos(angle),
+                         cy + radius * std::sin(angle)};
+    }
+  } else {
+    size_t gi = 0;
+    for (const auto& [group, members] : groups) {
+      double cluster_angle = 2 * kPi * gi / groups.size() - kPi / 2;
+      double gx = cx + size * 0.24 * std::cos(cluster_angle);
+      double gy = cy + size * 0.24 * std::sin(cluster_angle);
+      double radius = size * (0.06 + 0.012 * members.size());
+      for (size_t i = 0; i < members.size(); ++i) {
+        double angle = 2 * kPi * i / members.size();
+        pos[members[i]] = {gx + radius * std::cos(angle),
+                           gy + radius * std::sin(angle)};
+      }
+      ++gi;
+    }
+  }
+
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options.size
+      << "' height='" << options.size + 20 << "'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+  if (!options.title.empty()) {
+    out << "<text x='" << cx << "' y='18' font-size='13' "
+        << "text-anchor='middle' fill='#111'>" << options.title
+        << "</text>\n";
+  }
+
+  // Edges first (under the nodes).
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      EdgeId e = g.FindEdge(vertices[i], vertices[j]);
+      if (e == kInvalidEdge) continue;
+      bool hot = options.edge_highlight && options.edge_highlight(e);
+      auto [x1, y1] = pos[vertices[i]];
+      auto [x2, y2] = pos[vertices[j]];
+      out << "<line x1='" << x1 << "' y1='" << y1 << "' x2='" << x2
+          << "' y2='" << y2 << "' stroke='" << (hot ? "#d62728" : "#333")
+          << "' stroke-width='" << (hot ? 1.8 : 0.9) << "'/>\n";
+    }
+  }
+
+  // Nodes and labels.
+  size_t gi = 0;
+  std::map<uint32_t, const char*> group_color;
+  for (const auto& [group, members] : groups) {
+    group_color[group] = kGroupColors[gi++ % 8];
+    (void)members;
+  }
+  for (VertexId v : vertices) {
+    uint32_t group =
+        v < options.vertex_group.size() ? options.vertex_group[v] : 0;
+    auto [x, y] = pos[v];
+    out << "<circle cx='" << x << "' cy='" << y << "' r='8' fill='"
+        << group_color[group] << "' stroke='#111'/>\n";
+    std::string label = v < options.vertex_label.size() &&
+                                !options.vertex_label[v].empty()
+                            ? options.vertex_label[v]
+                            : std::to_string(v);
+    out << "<text x='" << x << "' y='" << y - 11
+        << "' font-size='10' text-anchor='middle' fill='#111'>" << label
+        << "</text>\n";
+  }
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace tkc

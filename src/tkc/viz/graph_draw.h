@@ -1,0 +1,38 @@
+#ifndef TKC_VIZ_GRAPH_DRAW_H_
+#define TKC_VIZ_GRAPH_DRAW_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Options for node-link drawings of extracted subgraphs — the paper draws
+/// its case-study cliques this way (Figure 7's three cliques, Figure
+/// 12(b)'s two complexes with black intra- and red inter-complex edges).
+struct DrawOptions {
+  int size = 480;            // square canvas, pixels
+  std::string title;
+  /// Group id per *global* VertexId. Vertices of one group are laid out on
+  /// their own cluster circle and share a fill color. Empty = one circle.
+  std::vector<uint32_t> vertex_group;
+  /// Label per global VertexId (defaults to the id).
+  std::vector<std::string> vertex_label;
+  /// Returns true for edges to draw highlighted (red, thicker) — e.g. the
+  /// inter-complex / newly-added edges.
+  std::function<bool(EdgeId)> edge_highlight;
+};
+
+/// Renders the subgraph induced by `vertices` (plus every edge of `g`
+/// between them) as a standalone SVG document. Layout is circular, with
+/// per-group sub-circles when groups are provided.
+std::string DrawSubgraphSvg(const Graph& g,
+                            const std::vector<VertexId>& vertices,
+                            const DrawOptions& options = {});
+
+}  // namespace tkc
+
+#endif  // TKC_VIZ_GRAPH_DRAW_H_

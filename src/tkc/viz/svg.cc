@@ -1,0 +1,120 @@
+#include "tkc/viz/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace tkc {
+
+namespace {
+
+constexpr int kMarginLeft = 48;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 28;
+constexpr int kMarginBottom = 34;
+
+void AppendPlotBody(std::ostringstream& out, const DensityPlot& plot,
+                    const SvgOptions& opt, int x0, int y0, int plot_w,
+                    int plot_h) {
+  const size_t n = std::max<size_t>(plot.points.size(), 1);
+  const uint32_t max_v = std::max(plot.MaxValue(), 1u);
+  auto x_of = [&](double i) { return x0 + i / static_cast<double>(n) * plot_w; };
+  auto y_of = [&](double v) {
+    return y0 + plot_h - v / static_cast<double>(max_v) * plot_h;
+  };
+
+  // Axes.
+  out << "<line x1='" << x0 << "' y1='" << y0 + plot_h << "' x2='"
+      << x0 + plot_w << "' y2='" << y0 + plot_h
+      << "' stroke='#444' stroke-width='1'/>\n";
+  out << "<line x1='" << x0 << "' y1='" << y0 << "' x2='" << x0 << "' y2='"
+      << y0 + plot_h << "' stroke='#444' stroke-width='1'/>\n";
+  // Y ticks at 0, max/2, max.
+  for (uint32_t tick : {0u, max_v / 2, max_v}) {
+    double y = y_of(tick);
+    out << "<line x1='" << x0 - 4 << "' y1='" << y << "' x2='" << x0
+        << "' y2='" << y << "' stroke='#444'/>\n";
+    out << "<text x='" << x0 - 8 << "' y='" << y + 4
+        << "' font-size='11' text-anchor='end' fill='#333'>" << tick
+        << "</text>\n";
+  }
+
+  // Highlight bands behind the series.
+  for (const SvgMarker& m : opt.markers) {
+    double xa = x_of(static_cast<double>(m.begin));
+    double xb = x_of(static_cast<double>(m.end));
+    out << "<rect x='" << xa << "' y='" << y0 << "' width='" << (xb - xa)
+        << "' height='" << plot_h << "' fill='" << m.color
+        << "' fill-opacity='0.18' stroke='" << m.color
+        << "' stroke-dasharray='4 2'/>\n";
+    if (!m.label.empty()) {
+      out << "<text x='" << (xa + xb) / 2 << "' y='" << y0 + 12
+          << "' font-size='11' text-anchor='middle' fill='" << m.color
+          << "'>" << m.label << "</text>\n";
+    }
+  }
+
+  // Series as a step polyline (bars collapse visually at large n).
+  out << "<polyline fill='none' stroke='" << opt.series_color
+      << "' stroke-width='1.2' points='";
+  for (size_t i = 0; i < plot.points.size(); ++i) {
+    out << x_of(static_cast<double>(i)) << ','
+        << y_of(plot.points[i].value) << ' ';
+    out << x_of(static_cast<double>(i + 1)) << ','
+        << y_of(plot.points[i].value) << ' ';
+  }
+  out << "'/>\n";
+
+  if (!opt.title.empty()) {
+    out << "<text x='" << x0 + plot_w / 2 << "' y='" << y0 - 8
+        << "' font-size='13' text-anchor='middle' fill='#111'>" << opt.title
+        << "</text>\n";
+  }
+  // X label.
+  out << "<text x='" << x0 + plot_w / 2 << "' y='" << y0 + plot_h + 24
+      << "' font-size='11' text-anchor='middle' fill='#333'>"
+      << "vertices in traversal order (n=" << plot.points.size()
+      << ")</text>\n";
+}
+
+}  // namespace
+
+std::string RenderSvg(const DensityPlot& plot, const SvgOptions& options) {
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options.width
+      << "' height='" << options.height << "'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+  AppendPlotBody(out, plot, options, kMarginLeft, kMarginTop,
+                 options.width - kMarginLeft - kMarginRight,
+                 options.height - kMarginTop - kMarginBottom);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string RenderDualSvg(const DensityPlot& top, const DensityPlot& bottom,
+                          const SvgOptions& top_options,
+                          const SvgOptions& bottom_options) {
+  const int width = std::max(top_options.width, bottom_options.width);
+  const int pane_h = std::max(top_options.height, bottom_options.height);
+  std::ostringstream out;
+  out << "<svg xmlns='http://www.w3.org/2000/svg' width='" << width
+      << "' height='" << 2 * pane_h << "'>\n"
+      << "<rect width='100%' height='100%' fill='white'/>\n";
+  AppendPlotBody(out, top, top_options, kMarginLeft, kMarginTop,
+                 width - kMarginLeft - kMarginRight,
+                 pane_h - kMarginTop - kMarginBottom);
+  AppendPlotBody(out, bottom, bottom_options, kMarginLeft,
+                 pane_h + kMarginTop, width - kMarginLeft - kMarginRight,
+                 pane_h - kMarginTop - kMarginBottom);
+  out << "</svg>\n";
+  return out.str();
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace tkc

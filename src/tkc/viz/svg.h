@@ -1,0 +1,45 @@
+#ifndef TKC_VIZ_SVG_H_
+#define TKC_VIZ_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "tkc/viz/density_plot.h"
+
+namespace tkc {
+
+/// A highlighted plot region (the paper's red circles / green triangles):
+/// plot indices [begin, end) drawn with a labeled colored band.
+struct SvgMarker {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string label;
+  std::string color = "#d62728";
+};
+
+struct SvgOptions {
+  int width = 960;
+  int height = 300;
+  std::string title;
+  std::string series_color = "#1f77b4";
+  std::vector<SvgMarker> markers;
+};
+
+/// Renders the density plot as a standalone SVG document (bar series, axis
+/// ticks, optional highlight bands) — the artifact the benchmark harnesses
+/// write next to their textual output for Figures 6-12.
+std::string RenderSvg(const DensityPlot& plot, const SvgOptions& options = {});
+
+/// Renders two stacked plots sharing the X scale — the dual-view layout of
+/// Figure 8 (plot(a) above, plot(b) below).
+std::string RenderDualSvg(const DensityPlot& top, const DensityPlot& bottom,
+                          const SvgOptions& top_options,
+                          const SvgOptions& bottom_options);
+
+/// Convenience: writes `content` to `path`, creating parent dirs is NOT
+/// attempted; returns false on IO failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace tkc
+
+#endif  // TKC_VIZ_SVG_H_

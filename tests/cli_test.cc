@@ -1,0 +1,191 @@
+#include "tkc/cli/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/io/edge_list.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+int RunTool(const std::vector<std::string>& args, std::string* out_str,
+        std::string* err_str = nullptr) {
+  std::ostringstream out, err;
+  int code = RunCli(args, out, err);
+  if (out_str != nullptr) *out_str = out.str();
+  if (err_str != nullptr) *err_str = err.str();
+  return code;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    edges_path_ = TempPath("cli_edges.txt");
+    Graph g = PaperFigure2Graph();
+    ASSERT_TRUE(WriteEdgeListFile(g, edges_path_));
+  }
+  std::string edges_path_;
+};
+
+TEST_F(CliTest, NoArgsPrintsUsage) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({}, &out, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, UnknownCommand) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"frobnicate"}, &out, &err), 2);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, DecomposeFigure2) {
+  std::string out;
+  ASSERT_EQ(RunTool({"decompose", edges_path_}, &out), 0);
+  // AB = (0,1) has kappa 1; DE = (3,4) has kappa 2.
+  EXPECT_NE(out.find("0 1 1 3"), std::string::npos);
+  EXPECT_NE(out.find("3 4 2 4"), std::string::npos);
+  EXPECT_NE(out.find("max_kappa=2"), std::string::npos);
+}
+
+TEST_F(CliTest, DecomposeStoreModeAgrees) {
+  std::string a, b;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--mode=store"}, &a), 0);
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--mode=recompute"}, &b), 0);
+  // Strip the timing line before comparing.
+  a = a.substr(0, a.rfind("# edges"));
+  b = b.substr(0, b.rfind("# edges"));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"decompose", "/no/such/file"}, &out, &err), 2);
+  EXPECT_NE(err.find("cannot read"), std::string::npos);
+}
+
+TEST_F(CliTest, KCore) {
+  std::string out;
+  ASSERT_EQ(RunTool({"kcore", edges_path_}, &out), 0);
+  EXPECT_NE(out.find("max_core=3"), std::string::npos);
+}
+
+TEST_F(CliTest, Stats) {
+  std::string out;
+  ASSERT_EQ(RunTool({"stats", edges_path_}, &out), 0);
+  EXPECT_NE(out.find("vertices:               5"), std::string::npos);
+  EXPECT_NE(out.find("triangles:              5"), std::string::npos);
+}
+
+TEST_F(CliTest, PlotWithSvg) {
+  std::string svg_path = TempPath("cli_plot.svg");
+  std::string out;
+  ASSERT_EQ(RunTool({"plot", edges_path_, "--svg=" + svg_path, "--height=6"},
+                &out),
+            0);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  std::ifstream svg(svg_path);
+  EXPECT_TRUE(svg.good());
+}
+
+TEST_F(CliTest, Hierarchy) {
+  std::string out;
+  ASSERT_EQ(RunTool({"hierarchy", edges_path_}, &out), 0);
+  EXPECT_NE(out.find("k=1"), std::string::npos);
+  EXPECT_NE(out.find("k=2"), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateAppliesEventsAndVerifies) {
+  std::string events_path = TempPath("cli_events.txt");
+  {
+    std::ofstream ev(events_path);
+    ev << "# add chord, drop an old edge\n+ 0 3\n- 0 1\n";
+  }
+  std::string out;
+  ASSERT_EQ(RunTool({"update", edges_path_, events_path}, &out), 0);
+  EXPECT_NE(out.find("events=2"), std::string::npos);
+  EXPECT_NE(out.find("verified=yes"), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateRejectsBadEvents) {
+  std::string events_path = TempPath("cli_bad_events.txt");
+  {
+    std::ofstream ev(events_path);
+    ev << "* 0 1\n";
+  }
+  std::string out, err;
+  EXPECT_EQ(RunTool({"update", edges_path_, events_path}, &out, &err), 2);
+}
+
+TEST_F(CliTest, TemplatesNewForm) {
+  // old: 5 isolated vertices; new: the K5 over them.
+  std::string old_path = TempPath("cli_old.txt");
+  std::string new_path = TempPath("cli_new.txt");
+  {
+    Graph old_g(5);
+    old_g.AddEdge(5, 6);  // keep vertices 0..4 present but idle
+    ASSERT_TRUE(WriteEdgeListFile(old_g, old_path));
+    Graph new_g = old_g;
+    PlantClique(new_g, {0, 1, 2, 3, 4});
+    ASSERT_TRUE(WriteEdgeListFile(new_g, new_path));
+  }
+  std::string out;
+  ASSERT_EQ(RunTool({"templates", old_path, new_path, "--pattern=newform"},
+                &out),
+            0);
+  EXPECT_NE(out.find("pattern=NewForm"), std::string::npos);
+  EXPECT_NE(out.find("size=5"), std::string::npos);
+}
+
+TEST_F(CliTest, TemplatesUnknownPattern) {
+  std::string out, err;
+  EXPECT_EQ(
+      RunTool({"templates", edges_path_, edges_path_, "--pattern=zigzag"}, &out,
+          &err),
+      2);
+}
+
+TEST_F(CliTest, GenerateRoundTrip) {
+  std::string out_path = TempPath("cli_gen.txt");
+  std::string out;
+  ASSERT_EQ(RunTool({"generate", "plc", "--n=200", "--m=3", "--seed=5",
+                 "--out=" + out_path},
+                &out),
+            0);
+  auto g = ReadEdgeListFile(out_path);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumVertices(), 200u);
+  EXPECT_GT(g->NumEdges(), 500u);
+}
+
+TEST_F(CliTest, GenerateRequiresOut) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"generate", "er", "--n=50"}, &out, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GenerateAllModels) {
+  for (const char* model :
+       {"er", "gnm", "ba", "plc", "ws", "rmat", "geometric", "collab"}) {
+    std::string out_path = TempPath(std::string("cli_gen_") + model + ".txt");
+    std::string out;
+    ASSERT_EQ(RunTool({"generate", model, "--n=128", "--seed=3",
+                   "--out=" + out_path},
+                  &out),
+              0)
+        << model;
+    auto g = ReadEdgeListFile(out_path);
+    ASSERT_TRUE(g.has_value()) << model;
+    EXPECT_GT(g->NumEdges(), 0u) << model;
+  }
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,92 @@
+#include "tkc/graph/csr.h"
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/graph/triangle.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+TEST(CsrTest, PreservesTopologyAndIds) {
+  Rng rng(1);
+  Graph g = GnmRandom(60, 140, rng);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.NumVertices(), g.NumVertices());
+  EXPECT_EQ(csr.NumEdges(), g.NumEdges());
+  EXPECT_EQ(csr.EdgeCapacity(), g.EdgeCapacity());
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    EXPECT_TRUE(csr.IsEdgeAlive(e));
+    EXPECT_EQ(csr.GetEdge(e), edge);
+    EXPECT_EQ(csr.FindEdge(edge.u, edge.v), e);  // same EdgeIds
+  });
+}
+
+TEST(CsrTest, HandlesDeadEdgeHoles) {
+  Graph g = CompleteGraph(5);
+  EdgeId dead = g.FindEdge(1, 2);
+  g.RemoveEdgeById(dead);
+  CsrGraph csr(g);
+  EXPECT_FALSE(csr.IsEdgeAlive(dead));
+  EXPECT_EQ(csr.FindEdge(1, 2), kInvalidEdge);
+  EXPECT_EQ(csr.NumEdges(), 9u);
+  EXPECT_EQ(csr.EdgeCapacity(), 10u);
+}
+
+TEST(CsrTest, DegreesAndNeighborsSorted) {
+  Rng rng(2);
+  Graph g = PowerLawCluster(120, 3, 0.5, rng);
+  CsrGraph csr(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    ASSERT_EQ(csr.Degree(v), g.Degree(v));
+    const Neighbor* it = csr.NeighborsBegin(v);
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      EXPECT_EQ(it->vertex, nb.vertex);
+      EXPECT_EQ(it->edge, nb.edge);
+      ++it;
+    }
+    EXPECT_EQ(it, csr.NeighborsEnd(v));
+  }
+}
+
+TEST(CsrTest, TriangleCountsMatchDynamicGraph) {
+  for (uint64_t seed : {3, 4, 5}) {
+    Rng rng(seed);
+    Graph g = ErdosRenyi(70, 0.12, rng);
+    CsrGraph csr(g);
+    EXPECT_EQ(csr.CountTriangles(), CountTriangles(g));
+    auto csr_support = csr.ComputeSupports();
+    auto dyn_support = ComputeEdgeSupports(g);
+    EXPECT_EQ(csr_support, dyn_support);
+  }
+}
+
+TEST(CsrTest, CommonNeighborMerge) {
+  Graph g = CompleteGraph(6);
+  CsrGraph csr(g);
+  int count = 0;
+  csr.ForEachCommonNeighbor(0, 1, [&](VertexId, EdgeId, EdgeId) { ++count; });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(CsrTest, ToGraphRoundTripsTopology) {
+  Rng rng(6);
+  Graph g = GnmRandom(40, 90, rng);
+  g.RemoveEdgeById(g.EdgeIds()[5]);
+  Graph back = CsrGraph(g).ToGraph();
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  g.ForEachEdge([&](EdgeId, const Edge& e) {
+    EXPECT_TRUE(back.HasEdge(e.u, e.v));
+  });
+}
+
+TEST(CsrTest, EmptyGraph) {
+  Graph g;
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.NumVertices(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+  EXPECT_EQ(csr.CountTriangles(), 0u);
+}
+
+}  // namespace
+}  // namespace tkc

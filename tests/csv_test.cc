@@ -1,0 +1,78 @@
+#include "tkc/baselines/csv.h"
+
+#include <gtest/gtest.h>
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+TEST(CsvTest, CliqueEdgesSeeFullClique) {
+  Graph g = CompleteGraph(8);
+  CsvResult r = ComputeCsv(g);
+  g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(r.co_clique_size[e], 8u);
+  });
+}
+
+TEST(CsvTest, TriangleFreeEdgesAreTwo) {
+  Graph g = CycleGraph(10);
+  CsvResult r = ComputeCsv(g);
+  g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(r.co_clique_size[e], 2u);
+  });
+}
+
+TEST(CsvTest, CocliqueUpperBoundsKappaPlus2) {
+  // κ(e)+2 is a lower bound on the true co-clique size... the reverse: the
+  // Triangle K-Core proxy never exceeds CSV's exact value on exact
+  // searches? Not in general — but CSV >= κ+2 does hold when the search is
+  // exact, because the maximum Triangle K-Core of e contains a clique only
+  // as a relaxation. What is always true: co_clique >= 3 wherever κ >= 1,
+  // and both agree exactly on planted cliques. Verify those.
+  Rng rng(5);
+  Graph g = GnmRandom(120, 220, rng);
+  auto members = PlantRandomClique(g, 9, rng);
+  CsvResult csv = ComputeCsv(g);
+  TriangleCoreResult cores = ComputeTriangleCores(g);
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      EdgeId e = g.FindEdge(members[i], members[j]);
+      EXPECT_GE(csv.co_clique_size[e], 9u);
+      EXPECT_GE(cores.kappa[e] + 2, 9u);
+    }
+  }
+  g.ForEachEdge([&](EdgeId e, const Edge&) {
+    if (cores.kappa[e] >= 1) {
+      EXPECT_GE(csv.co_clique_size[e], 3u);
+    }
+  });
+}
+
+TEST(CsvTest, HubFallbackCounts) {
+  // Two hubs sharing 200 leaves: their connecting edge has a common
+  // neighborhood far beyond the cap, forcing the support-bound fallback.
+  Graph g(202);
+  g.AddEdge(0, 1);
+  for (VertexId v = 2; v < 202; ++v) {
+    g.AddEdge(0, v);
+    g.AddEdge(1, v);
+  }
+  CsvOptions opt;
+  opt.max_neighborhood = 50;
+  CsvResult r = ComputeCsv(g, opt);
+  EXPECT_EQ(r.estimated_edges, 1u);
+  EXPECT_EQ(r.co_clique_size[g.FindEdge(0, 1)], 202u);  // support bound
+}
+
+TEST(CsvTest, DeterministicAcrossRuns) {
+  Rng rng(9);
+  Graph g = PowerLawCluster(100, 3, 0.6, rng);
+  CsvResult a = ComputeCsv(g);
+  CsvResult b = ComputeCsv(g);
+  EXPECT_EQ(a.co_clique_size, b.co_clique_size);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,107 @@
+#include "tkc/patterns/events.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+size_t CountType(const std::vector<CliqueEvent>& events,
+                 CliqueEvent::Type type) {
+  return std::count_if(events.begin(), events.end(),
+                       [&](const CliqueEvent& e) { return e.type == type; });
+}
+
+TEST(EventsTest, QuietTransitionNoEvents) {
+  Rng rng(1);
+  Graph old_g = GnmRandom(60, 90, rng);
+  Graph new_g = old_g;
+  // One incidental edge.
+  new_g.AddEdge(0, 59);
+  auto events = DetectEvents(old_g, new_g);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(EventsTest, NewFormEventDetected) {
+  Rng rng(2);
+  Graph old_g = GnmRandom(80, 60, rng);  // sparse, vertices pre-exist
+  const std::vector<VertexId> members{1, 5, 9, 13, 17, 21};
+  // New Form requires every clique edge to be new: clear any background
+  // edges that happen to fall inside the member set.
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      old_g.RemoveEdge(members[i], members[j]);
+    }
+  }
+  Graph new_g = old_g;
+  PlantClique(new_g, members);  // 6 old vertices collaborate
+  auto events = DetectEvents(old_g, new_g);
+  ASSERT_GE(CountType(events, CliqueEvent::Type::kNewForm), 1u);
+  const CliqueEvent* best = nullptr;
+  for (const auto& e : events) {
+    if (e.type == CliqueEvent::Type::kNewForm && (!best ||
+        e.clique_size > best->clique_size)) {
+      best = &e;
+    }
+  }
+  ASSERT_NE(best, nullptr);
+  EXPECT_GE(best->clique_size, 6u);
+  for (VertexId v : members) {
+    EXPECT_TRUE(std::find(best->vertices.begin(), best->vertices.end(), v) !=
+                best->vertices.end());
+  }
+}
+
+TEST(EventsTest, BridgeEventDetected) {
+  Graph old_g(40);
+  PlantClique(old_g, {0, 1, 2, 3});
+  PlantClique(old_g, {10, 11, 12});
+  Graph new_g = old_g;
+  for (VertexId a : {0, 1, 2, 3}) {
+    for (VertexId b : {10, 11, 12}) new_g.AddEdge(a, b);
+  }
+  auto events = DetectEvents(old_g, new_g);
+  EXPECT_GE(CountType(events, CliqueEvent::Type::kBridge), 1u);
+}
+
+TEST(EventsTest, NewJoinEventDetected) {
+  Graph old_g(30);
+  PlantClique(old_g, {0, 1, 2, 3, 4});
+  Graph new_g = old_g;
+  new_g.EnsureVertices(32);
+  for (VertexId nv : {30u, 31u}) {
+    for (VertexId old : {0u, 1u, 2u, 3u, 4u}) new_g.AddEdge(nv, old);
+  }
+  new_g.AddEdge(30, 31);
+  auto events = DetectEvents(old_g, new_g);
+  ASSERT_GE(CountType(events, CliqueEvent::Type::kNewJoin), 1u);
+  const CliqueEvent* join = nullptr;
+  for (const auto& e : events) {
+    if (e.type == CliqueEvent::Type::kNewJoin) join = &e;
+  }
+  EXPECT_GE(join->clique_size, 7u);  // 5 veterans + 2 newcomers
+}
+
+TEST(EventsTest, MinCliqueSizeFilters) {
+  Graph old_g(10);
+  Graph new_g = old_g;
+  PlantClique(new_g, {0, 1, 2, 3});  // 4-clique of new edges
+  EventDetectorOptions strict;
+  strict.min_clique_size = 6;
+  EXPECT_TRUE(DetectEvents(old_g, new_g, strict).empty());
+  EventDetectorOptions loose;
+  loose.min_clique_size = 4;
+  EXPECT_FALSE(DetectEvents(old_g, new_g, loose).empty());
+}
+
+TEST(EventsTest, TypeNames) {
+  EXPECT_EQ(ToString(CliqueEvent::Type::kNewForm), "NewForm");
+  EXPECT_EQ(ToString(CliqueEvent::Type::kBridge), "Bridge");
+  EXPECT_EQ(ToString(CliqueEvent::Type::kNewJoin), "NewJoin");
+}
+
+}  // namespace
+}  // namespace tkc

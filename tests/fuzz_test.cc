@@ -1,0 +1,158 @@
+// Long randomized stress runs over both dynamic maintainers with periodic
+// full cross-checks, plus adversarial topologies designed to maximize
+// promotion/demotion cascades (overlapping cliques, barbells, clique
+// growth/decay cycles). Complements dynamic_core_test's per-step sweeps
+// with longer horizons at larger scale.
+
+#include <gtest/gtest.h>
+#include "tkc/core/dynamic_core.h"
+#include "tkc/core/ordered_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+void ExpectMatchesStatic(const DynamicTriangleCore& dyn, const char* where) {
+  TriangleCoreResult fresh = ComputeTriangleCores(dyn.graph());
+  dyn.graph().ForEachEdge([&](EdgeId e, const Edge& edge) {
+    ASSERT_EQ(dyn.kappa()[e], fresh.kappa[e])
+        << where << " edge (" << edge.u << "," << edge.v << ")";
+  });
+}
+
+TEST(FuzzTest, LongMixedChurnWithPeriodicChecks) {
+  Rng rng(31337);
+  Graph base = PowerLawCluster(150, 3, 0.6, rng);
+  DynamicTriangleCore dyn(base);
+  for (int step = 1; step <= 400; ++step) {
+    const Graph& g = dyn.graph();
+    if (rng.NextBool(0.5)) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      if (u != v && !g.HasEdge(u, v)) dyn.InsertEdge(u, v);
+    } else if (g.NumEdges() > 0) {
+      auto live = g.EdgeIds();
+      dyn.RemoveEdgeById(live[rng.NextBounded(live.size())]);
+    }
+    if (step % 50 == 0) ExpectMatchesStatic(dyn, "periodic");
+  }
+  ExpectMatchesStatic(dyn, "final");
+}
+
+TEST(FuzzTest, CliqueGrowthAndDecayCycles) {
+  // Grow a clique vertex by vertex to K12, then tear it down edge by edge
+  // — maximal multi-level promotion and demotion cascades.
+  Graph g(12);
+  DynamicTriangleCore dyn(std::move(g));
+  for (VertexId v = 1; v < 12; ++v) {
+    for (VertexId u = 0; u < v; ++u) dyn.InsertEdge(u, v);
+    ExpectMatchesStatic(dyn, "growth");
+  }
+  EXPECT_EQ(dyn.KappaOf(dyn.graph().FindEdge(0, 1)), 10u);
+  Rng rng(5);
+  while (dyn.graph().NumEdges() > 0) {
+    auto live = dyn.graph().EdgeIds();
+    dyn.RemoveEdgeById(live[rng.NextBounded(live.size())]);
+    if (dyn.graph().NumEdges() % 8 == 0) ExpectMatchesStatic(dyn, "decay");
+  }
+}
+
+TEST(FuzzTest, OverlappingCliquesChurn) {
+  // Three cliques pairwise sharing 3 vertices — κ levels interact across
+  // the overlaps, the hardest case for Rule 0 region growth.
+  Graph g(15);
+  PlantClique(g, {0, 1, 2, 3, 4, 5, 6});
+  PlantClique(g, {4, 5, 6, 7, 8, 9, 10});
+  PlantClique(g, {8, 9, 10, 11, 12, 13, 14});
+  DynamicTriangleCore dyn(std::move(g));
+  Rng rng(77);
+  for (int step = 0; step < 120; ++step) {
+    const Graph& graph = dyn.graph();
+    VertexId u = static_cast<VertexId>(rng.NextBounded(15));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(15));
+    if (u == v) continue;
+    if (graph.HasEdge(u, v)) {
+      dyn.RemoveEdge(u, v);
+    } else {
+      dyn.InsertEdge(u, v);
+    }
+    ExpectMatchesStatic(dyn, "overlap");
+  }
+}
+
+TEST(FuzzTest, BarbellBridgeChurn) {
+  // Two dense lobes and a thin bridge; inserting/removing bridge edges
+  // repeatedly must never leak promotions across the bridge.
+  Graph g(16);
+  PlantClique(g, {0, 1, 2, 3, 4, 5, 6});
+  PlantClique(g, {9, 10, 11, 12, 13, 14, 15});
+  DynamicTriangleCore dyn(std::move(g));
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    // Randomly toggle bridge edges through the middle vertices 7, 8.
+    VertexId mid = rng.NextBool(0.5) ? 7 : 8;
+    VertexId far = static_cast<VertexId>(rng.NextBounded(16));
+    if (far == mid) continue;
+    if (dyn.graph().HasEdge(mid, far)) {
+      dyn.RemoveEdge(mid, far);
+    } else {
+      dyn.InsertEdge(mid, far);
+    }
+    ExpectMatchesStatic(dyn, "barbell");
+    // Lobe edges stay at κ = 5 throughout.
+    EXPECT_GE(dyn.KappaOf(dyn.graph().FindEdge(0, 1)), 5u);
+    EXPECT_GE(dyn.KappaOf(dyn.graph().FindEdge(9, 10)), 5u);
+  }
+}
+
+TEST(FuzzTest, OrderedCoreLongRun) {
+  Rng rng(424242);
+  Graph base = GnmRandom(60, 110, rng);
+  PlantRandomClique(base, 8, rng);
+  OrderedDynamicCore dyn(base);
+  for (int step = 1; step <= 150; ++step) {
+    const Graph& g = dyn.graph();
+    if (rng.NextBool(0.5)) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+      if (u != v && !g.HasEdge(u, v)) dyn.InsertEdge(u, v);
+    } else if (g.NumEdges() > 0) {
+      auto live = g.EdgeIds();
+      Edge victim = g.GetEdge(live[rng.NextBounded(live.size())]);
+      dyn.RemoveEdge(victim.u, victim.v);
+    }
+    if (step % 25 == 0) {
+      ASSERT_TRUE(dyn.CheckInvariants()) << "step " << step;
+      TriangleCoreResult fresh = ComputeTriangleCores(dyn.graph());
+      dyn.graph().ForEachEdge([&](EdgeId e, const Edge&) {
+        ASSERT_EQ(dyn.kappa()[e], fresh.kappa[e]) << "step " << step;
+      });
+    }
+  }
+}
+
+TEST(FuzzTest, RebuildEquivalenceAfterHeavyChurn) {
+  // After heavy churn, a DynamicTriangleCore constructed fresh from the
+  // mutated graph matches the maintained one exactly.
+  Rng rng(8);
+  Graph base = PowerLawCluster(100, 3, 0.5, rng);
+  DynamicTriangleCore dyn(base);
+  for (int i = 0; i < 300; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(100));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(100));
+    if (u == v) continue;
+    if (dyn.graph().HasEdge(u, v)) {
+      dyn.RemoveEdge(u, v);
+    } else {
+      dyn.InsertEdge(u, v);
+    }
+  }
+  DynamicTriangleCore rebuilt(dyn.graph());
+  dyn.graph().ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(dyn.kappa()[e], rebuilt.kappa()[e]);
+  });
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,77 @@
+#include "tkc/viz/graph_draw.h"
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+
+namespace tkc {
+namespace {
+
+TEST(GraphDrawTest, SingleGroupCircleLayout) {
+  Graph g = CompleteGraph(5);
+  DrawOptions opt;
+  opt.title = "K5";
+  std::string svg = DrawSubgraphSvg(g, {0, 1, 2, 3, 4}, opt);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("K5"), std::string::npos);
+  // 10 edges and 5 nodes.
+  size_t lines = 0, circles = 0, pos = 0;
+  while ((pos = svg.find("<line", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 10u);
+  EXPECT_EQ(circles, 5u);
+}
+
+TEST(GraphDrawTest, HighlightedEdgesColored) {
+  Graph g(4);
+  PlantClique(g, {0, 1, 2, 3});
+  EdgeId hot = g.FindEdge(0, 3);
+  DrawOptions opt;
+  opt.edge_highlight = [hot](EdgeId e) { return e == hot; };
+  std::string svg = DrawSubgraphSvg(g, {0, 1, 2, 3}, opt);
+  EXPECT_NE(svg.find("#d62728"), std::string::npos);
+}
+
+TEST(GraphDrawTest, GroupsGetDistinctColors) {
+  Graph g(8);
+  PlantClique(g, {0, 1, 2, 3});
+  PlantClique(g, {4, 5, 6, 7});
+  g.AddEdge(0, 4);
+  DrawOptions opt;
+  opt.vertex_group.assign(8, 0);
+  for (VertexId v = 4; v < 8; ++v) opt.vertex_group[v] = 1;
+  std::string svg = DrawSubgraphSvg(g, {0, 1, 2, 3, 4, 5, 6, 7}, opt);
+  EXPECT_NE(svg.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(svg.find("#2ca02c"), std::string::npos);
+}
+
+TEST(GraphDrawTest, CustomLabels) {
+  Graph g(3);
+  PlantClique(g, {0, 1, 2});
+  DrawOptions opt;
+  opt.vertex_label = {"PRE1", "RPN11", "RPN12"};
+  std::string svg = DrawSubgraphSvg(g, {0, 1, 2}, opt);
+  EXPECT_NE(svg.find("PRE1"), std::string::npos);
+  EXPECT_NE(svg.find("RPN12"), std::string::npos);
+}
+
+TEST(GraphDrawTest, MissingEdgesNotDrawn) {
+  Graph g(4);
+  g.AddEdge(0, 1);  // only one edge among the four selected vertices
+  std::string svg = DrawSubgraphSvg(g, {0, 1, 2, 3});
+  size_t lines = 0, pos = 0;
+  while ((pos = svg.find("<line", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 1u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,181 @@
+#include "tkc/graph/graph.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tkc {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.EdgeCapacity(), 0u);
+}
+
+TEST(GraphTest, AddVertexGrows) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex(), 0u);
+  EXPECT_EQ(g.AddVertex(), 1u);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.Degree(0), 0u);
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g(4);
+  bool inserted = false;
+  EdgeId e = g.AddEdge(1, 3, &inserted);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_TRUE(g.HasEdge(3, 1));
+  EXPECT_FALSE(g.HasEdge(1, 2));
+  Edge edge = g.GetEdge(e);
+  EXPECT_EQ(edge.u, 1u);  // normalized u < v
+  EXPECT_EQ(edge.v, 3u);
+}
+
+TEST(GraphTest, AddEdgeNormalizesOrder) {
+  Graph g(4);
+  EdgeId e = g.AddEdge(3, 1);
+  Edge edge = g.GetEdge(e);
+  EXPECT_LT(edge.u, edge.v);
+}
+
+TEST(GraphTest, AddEdgeIdempotent) {
+  Graph g(4);
+  EdgeId e1 = g.AddEdge(0, 1);
+  bool inserted = true;
+  EdgeId e2 = g.AddEdge(1, 0, &inserted);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, AddEdgeGrowsVertexSet) {
+  Graph g;
+  g.AddEdge(5, 9);
+  EXPECT_EQ(g.NumVertices(), 10u);
+  EXPECT_TRUE(g.HasEdge(5, 9));
+}
+
+TEST(GraphTest, RemoveEdgeTombstones) {
+  Graph g(3);
+  EdgeId e = g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.RemoveEdge(0, 1), e);
+  EXPECT_FALSE(g.IsEdgeAlive(e));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.EdgeCapacity(), 2u);  // id not reclaimed
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.RemoveEdge(0, 1), kInvalidEdge);  // double remove is a no-op
+}
+
+TEST(GraphTest, EdgeIdsNeverReused) {
+  Graph g(3);
+  EdgeId e0 = g.AddEdge(0, 1);
+  g.RemoveEdgeById(e0);
+  EdgeId e1 = g.AddEdge(0, 1);
+  EXPECT_NE(e0, e1);
+  EXPECT_EQ(g.EdgeCapacity(), 2u);
+}
+
+TEST(GraphTest, DegreeTracksMutations) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.Degree(0), 3u);
+  g.RemoveEdge(0, 2);
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 0u);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(6);
+  g.AddEdge(3, 5);
+  g.AddEdge(3, 0);
+  g.AddEdge(3, 4);
+  g.AddEdge(3, 1);
+  const auto& nbs = g.Neighbors(3);
+  ASSERT_EQ(nbs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbs.begin(), nbs.end()));
+  EXPECT_EQ(nbs[0].vertex, 0u);
+  EXPECT_EQ(nbs[3].vertex, 5u);
+}
+
+TEST(GraphTest, CommonNeighbors) {
+  Graph g(5);
+  // 0 and 1 share neighbors 2 and 3; 4 is only 0's neighbor.
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  g.AddEdge(0, 4);
+  g.AddEdge(1, 2);
+  g.AddEdge(1, 3);
+  EXPECT_EQ(g.CountCommonNeighbors(0, 1), 2u);
+  std::vector<VertexId> common;
+  g.ForEachCommonNeighbor(0, 1, [&](VertexId w, EdgeId uw, EdgeId vw) {
+    common.push_back(w);
+    EXPECT_EQ(g.GetEdge(uw).u, std::min<VertexId>(0, w));
+    EXPECT_EQ(g.GetEdge(vw).u, std::min<VertexId>(1, w));
+  });
+  EXPECT_EQ(common, (std::vector<VertexId>{2, 3}));
+}
+
+TEST(GraphTest, ForEachEdgeSkipsDead) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  EdgeId dead = g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.RemoveEdgeById(dead);
+  std::vector<EdgeId> seen;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { seen.push_back(e); });
+  EXPECT_EQ(seen, (std::vector<EdgeId>{0, 2}));
+  EXPECT_EQ(g.EdgeIds(), seen);
+}
+
+TEST(GraphTest, FindEdgeOutOfRange) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.FindEdge(0, 7), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(7, 8), kInvalidEdge);
+  EXPECT_EQ(g.FindEdge(1, 1), kInvalidEdge);
+}
+
+TEST(GraphTest, CopyIsIndependent) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  Graph copy = g;
+  copy.AddEdge(1, 2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(copy.NumEdges(), 2u);
+  g.RemoveEdge(0, 1);
+  EXPECT_TRUE(copy.HasEdge(0, 1));
+}
+
+TEST(GraphTest, TotalDegreeIsTwiceEdges) {
+  Graph g(10);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  g.AddEdge(0, 3);
+  EXPECT_EQ(g.TotalDegree(), 2 * g.NumEdges());
+  g.RemoveEdge(2, 3);
+  EXPECT_EQ(g.TotalDegree(), 2 * g.NumEdges());
+}
+
+TEST(GraphTest, ReinsertAfterRemoveRestoresAdjacency) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.RemoveEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(1), 2u);
+  const auto& nbs = g.Neighbors(1);
+  EXPECT_TRUE(std::is_sorted(nbs.begin(), nbs.end()));
+}
+
+}  // namespace
+}  // namespace tkc

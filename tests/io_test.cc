@@ -1,0 +1,124 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/io/edge_list.h"
+#include "tkc/io/snapshots.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+TEST(EdgeListTest, RoundTrip) {
+  Rng rng(1);
+  Graph g = GnmRandom(50, 120, rng);
+  std::stringstream buf;
+  WriteEdgeList(g, buf);
+  auto back = ReadEdgeList(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumEdges(), g.NumEdges());
+  g.ForEachEdge([&](EdgeId, const Edge& e) {
+    EXPECT_TRUE(back->HasEdge(e.u, e.v));
+  });
+}
+
+TEST(EdgeListTest, SkipsCommentsAndBlanks) {
+  std::stringstream in("# header\n\n% pajek comment\n0 1\n1 2\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 2u);
+}
+
+TEST(EdgeListTest, DropsSelfLoopsAndDuplicates) {
+  std::stringstream in("0 0\n0 1\n1 0\n0 1\n");
+  auto g = ReadEdgeList(in);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1u);
+}
+
+TEST(EdgeListTest, RejectsMalformed) {
+  std::stringstream bad("0 x\n");
+  EXPECT_FALSE(ReadEdgeList(bad).has_value());
+  std::stringstream negative("-1 2\n");
+  EXPECT_FALSE(ReadEdgeList(negative).has_value());
+}
+
+TEST(EdgeListTest, FileRoundTrip) {
+  Rng rng(2);
+  Graph g = GnmRandom(20, 40, rng);
+  std::string path = ::testing::TempDir() + "/tkc_edges.txt";
+  ASSERT_TRUE(WriteEdgeListFile(g, path));
+  auto back = ReadEdgeListFile(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumEdges(), 40u);
+}
+
+TEST(EdgeListTest, MissingFile) {
+  EXPECT_FALSE(ReadEdgeListFile("/no/such/file.txt").has_value());
+}
+
+TEST(VertexAttributesTest, RoundTrip) {
+  std::vector<uint32_t> attrs{3, 1, 4, 1, 5};
+  std::stringstream buf;
+  WriteVertexAttributes(attrs, buf);
+  auto back = ReadVertexAttributes(buf, 5);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, attrs);
+}
+
+TEST(VertexAttributesTest, OutOfRangeVertexRejected) {
+  std::stringstream in("9 1\n");
+  EXPECT_FALSE(ReadVertexAttributes(in, 5).has_value());
+}
+
+TEST(SnapshotStreamTest, RoundTrip) {
+  Rng rng(3);
+  SnapshotStream stream;
+  stream.base = GnmRandom(30, 60, rng);
+  stream.deltas.push_back(RandomChurn(stream.base, 5, 5, rng));
+  Graph mid = stream.Materialize(1);
+  stream.deltas.push_back(RandomChurn(mid, 3, 7, rng));
+
+  std::stringstream buf;
+  WriteSnapshotStream(stream, buf);
+  auto back = ReadSnapshotStream(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->NumSnapshots(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    Graph a = stream.Materialize(i);
+    Graph b = back->Materialize(i);
+    EXPECT_EQ(a.NumEdges(), b.NumEdges()) << "snapshot " << i;
+    a.ForEachEdge([&](EdgeId, const Edge& e) {
+      EXPECT_TRUE(b.HasEdge(e.u, e.v));
+    });
+  }
+}
+
+TEST(SnapshotStreamTest, MaterializeBeyondEndClamps) {
+  SnapshotStream stream;
+  stream.base = CompleteGraph(4);
+  Graph g = stream.Materialize(10);
+  EXPECT_EQ(g.NumEdges(), 6u);
+}
+
+TEST(SnapshotStreamTest, RejectsBadDelta) {
+  std::stringstream in("0 1\n@ 1\n* 0 2\n");
+  EXPECT_FALSE(ReadSnapshotStream(in).has_value());
+}
+
+TEST(SnapshotStreamTest, FileRoundTrip) {
+  SnapshotStream stream;
+  stream.base = CompleteGraph(5);
+  stream.deltas.push_back(
+      {{EdgeEvent::Kind::kRemove, 0, 1}, {EdgeEvent::Kind::kInsert, 0, 5}});
+  std::string path = ::testing::TempDir() + "/tkc_snapshots.txt";
+  ASSERT_TRUE(WriteSnapshotStreamFile(stream, path));
+  auto back = ReadSnapshotStreamFile(path);
+  ASSERT_TRUE(back.has_value());
+  Graph final_g = back->Materialize(1);
+  EXPECT_FALSE(final_g.HasEdge(0, 1));
+  EXPECT_TRUE(final_g.HasEdge(0, 5));
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,208 @@
+#include "tkc/patterns/patterns.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+bool Contains(const std::vector<VertexId>& xs, VertexId v) {
+  return std::find(xs.begin(), xs.end(), v) != xs.end();
+}
+
+TEST(LabelingTest, FromGraphsMarksDeltaEdges) {
+  Graph old_g(4);
+  old_g.AddEdge(0, 1);
+  Graph new_g = old_g;
+  new_g.AddEdge(2, 3);
+  new_g.AddVertex();  // vertex 4
+  new_g.AddEdge(3, 4);
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  EXPECT_FALSE(lg.IsNewEdge(new_g.FindEdge(0, 1)));
+  EXPECT_TRUE(lg.IsNewEdge(new_g.FindEdge(2, 3)));
+  EXPECT_TRUE(lg.IsNewEdge(new_g.FindEdge(3, 4)));
+  EXPECT_FALSE(lg.IsNewVertex(0));
+  EXPECT_TRUE(lg.IsNewVertex(4));
+  // OG components: {0,1} together, 2 and 3 alone.
+  EXPECT_EQ(lg.old_component[0], lg.old_component[1]);
+  EXPECT_NE(lg.old_component[2], lg.old_component[3]);
+  EXPECT_EQ(lg.old_component[4], kInvalidVertex);
+}
+
+TEST(LabelingTest, FromAttributes) {
+  Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  LabeledGraph lg = LabelFromAttributes(g, {7, 7, 9, 9});
+  EXPECT_FALSE(lg.IsNewEdge(g.FindEdge(0, 1)));  // intra-attribute
+  EXPECT_TRUE(lg.IsNewEdge(g.FindEdge(1, 2)));   // inter-attribute
+  EXPECT_FALSE(lg.IsNewEdge(g.FindEdge(2, 3)));
+  EXPECT_EQ(lg.old_component[0], 7u);
+}
+
+// ---- Figure 4(a)/(d): New Form ----
+
+TEST(NewFormTest, Figure4aExample) {
+  // Five existing vertices, all 10 edges new: ABCDE is a New Form clique.
+  Graph old_g(5);  // isolated but existing
+  Graph new_g(5);
+  PlantClique(new_g, {0, 1, 2, 3, 4});
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewFormSpec());
+  EXPECT_EQ(det.characteristic_triangles, 10u);  // C(5,3)
+  EXPECT_EQ(det.special_edges.size(), 10u);
+  EXPECT_EQ(det.special_vertices.size(), 5u);
+  new_g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(det.co_clique_size[e], 5u);
+  });
+}
+
+TEST(NewFormTest, IgnoresCliquesWithNewVertices) {
+  // A clique of brand-new vertices is a New Join shape, not New Form.
+  Graph old_g(2);
+  Graph new_g(2);
+  new_g.EnsureVertices(5);
+  PlantClique(new_g, {2, 3, 4});  // all-new vertices
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewFormSpec());
+  EXPECT_EQ(det.characteristic_triangles, 0u);
+  EXPECT_TRUE(det.special_edges.empty());
+}
+
+TEST(NewFormTest, IgnoresOldCliques) {
+  Graph old_g(4);
+  PlantClique(old_g, {0, 1, 2, 3});
+  Graph new_g = old_g;
+  new_g.AddEdge(0, 4);  // one unrelated new edge
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewFormSpec());
+  EXPECT_EQ(det.characteristic_triangles, 0u);
+}
+
+// ---- Figure 4(b)/(e): Bridge ----
+
+TEST(BridgeTest, Figure4bExample) {
+  // OG: disconnected cliques {0,1,2} and {3,4}; NG interconnects them into
+  // a 5-clique — a Bridge clique.
+  Graph old_g(5);
+  PlantClique(old_g, {0, 1, 2});
+  old_g.AddEdge(3, 4);
+  Graph new_g = old_g;
+  for (VertexId a : {0, 1, 2}) {
+    for (VertexId b : {3, 4}) new_g.AddEdge(a, b);
+  }
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, BridgeSpec());
+  EXPECT_GT(det.characteristic_triangles, 0u);
+  EXPECT_GT(det.possible_triangles, 0u);  // the all-original Δ012
+  EXPECT_EQ(det.special_vertices.size(), 5u);
+  // Every edge of the merged clique participates: co_clique_size = 5.
+  new_g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(det.co_clique_size[e], 5u) << "edge " << e;
+  });
+}
+
+TEST(BridgeTest, RequiresDistinctOldComponents) {
+  // New edges densifying a single old component are not bridges.
+  Graph old_g(4);
+  old_g.AddEdge(0, 1);
+  old_g.AddEdge(1, 2);
+  old_g.AddEdge(2, 3);
+  old_g.AddEdge(3, 0);  // connected 4-cycle
+  Graph new_g = old_g;
+  new_g.AddEdge(0, 2);
+  new_g.AddEdge(1, 3);  // diagonals -> K4, but all in one OG component
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, BridgeSpec());
+  EXPECT_EQ(det.characteristic_triangles, 0u);
+  EXPECT_TRUE(det.special_edges.empty());
+}
+
+TEST(BridgeTest, AttributeVariantFindsInterComplexCliques) {
+  // Figure 12's static PPI reading: complexes as attributes.
+  Graph g(9);
+  PlantClique(g, {0, 1, 2, 3});  // complex 1
+  PlantClique(g, {4, 5, 6, 7});  // complex 2
+  // Vertex 3 also fully connects to complex 2 (a PRE1-style bridge node).
+  for (VertexId b : {4, 5, 6, 7}) g.AddEdge(3, b);
+  std::vector<uint32_t> attrs{1, 1, 1, 1, 2, 2, 2, 2, 0};
+  LabeledGraph lg = LabelFromAttributes(g, attrs);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, BridgeSpec());
+  EXPECT_GT(det.characteristic_triangles, 0u);
+  // The bridging 5-clique {3,4,5,6,7} is fully special.
+  for (VertexId v : {3, 4, 5, 6, 7}) {
+    EXPECT_TRUE(Contains(det.special_vertices, v)) << "vertex " << v;
+  }
+  EdgeId bridge_edge = g.FindEdge(3, 4);
+  EXPECT_EQ(det.co_clique_size[bridge_edge], 5u);
+}
+
+// ---- Figure 4(c)/(f): New Join ----
+
+TEST(NewJoinTest, Figure4cExample) {
+  // OG clique {3,4,5} (D,E,F); new vertices 6,7,8 (A,B,C) join fully:
+  // ABCDEF is a New Join clique.
+  Graph old_g(6);
+  PlantClique(old_g, {3, 4, 5});
+  Graph new_g = old_g;
+  new_g.EnsureVertices(9);
+  std::vector<VertexId> all{3, 4, 5, 6, 7, 8};
+  PlantClique(new_g, all);
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewJoinSpec());
+  // Characteristic: one new vertex over an original edge: 3 new vertices x
+  // 3 original edges = 9.
+  EXPECT_EQ(det.characteristic_triangles, 9u);
+  // Possible: all-new-edge triangles and the all-original ΔDEF.
+  EXPECT_GT(det.possible_triangles, 0u);
+  EXPECT_EQ(det.special_vertices.size(), 6u);
+  new_g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(det.co_clique_size[e], 6u) << "edge " << e;
+  });
+}
+
+TEST(NewJoinTest, PairOfNewVerticesAloneIsNotJoin) {
+  // New vertices forming their own clique with no original anchor edge.
+  Graph old_g(2);
+  Graph new_g(2);
+  new_g.EnsureVertices(5);
+  PlantClique(new_g, {2, 3, 4});
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewJoinSpec());
+  EXPECT_EQ(det.characteristic_triangles, 0u);
+  EXPECT_TRUE(det.special_edges.empty());
+}
+
+TEST(NewJoinTest, SingleNewcomerOnEdge) {
+  // Minimal join: new vertex over one original edge.
+  Graph old_g(2);
+  old_g.AddEdge(0, 1);
+  Graph new_g = old_g;
+  new_g.AddEdge(0, 2);
+  new_g.AddEdge(1, 2);
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewJoinSpec());
+  EXPECT_EQ(det.characteristic_triangles, 1u);
+  EXPECT_EQ(det.special_edges.size(), 3u);
+  new_g.ForEachEdge([&](EdgeId e, const Edge&) {
+    EXPECT_EQ(det.co_clique_size[e], 3u);
+  });
+}
+
+TEST(TemplateFrameworkTest, NonSpecialEdgesGetZero) {
+  Graph old_g(8);
+  PlantClique(old_g, {0, 1, 2, 3});  // old structure, never special
+  Graph new_g = old_g;
+  PlantClique(new_g, {4, 5, 6});  // new-form triangle
+  LabeledGraph lg = LabelFromGraphs(old_g, new_g);
+  TemplateDetectionResult det = DetectTemplateCliques(lg, NewFormSpec());
+  EXPECT_EQ(det.co_clique_size[new_g.FindEdge(0, 1)], 0u);
+  EXPECT_EQ(det.co_clique_size[new_g.FindEdge(4, 5)], 3u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,130 @@
+#include "tkc/util/random.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tkc {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng rng(3);
+  bool lo_hit = false, hi_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t x = rng.NextInRange(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    lo_hit |= (x == -2);
+    hi_hit |= (x == 2);
+  }
+  EXPECT_TRUE(lo_hit);
+  EXPECT_TRUE(hi_hit);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.NextBool(0.3);
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleDistinctIsDistinctAndInRange) {
+  Rng rng(13);
+  for (uint64_t population : {10ull, 100ull, 100000ull}) {
+    for (uint64_t count : {0ull, 1ull, 5ull, 10ull}) {
+      auto sample = rng.SampleDistinct(population, count);
+      ASSERT_EQ(sample.size(), count);
+      std::set<uint64_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(uniq.size(), count);
+      for (uint64_t s : sample) EXPECT_LT(s, population);
+    }
+  }
+}
+
+TEST(RngTest, SampleDistinctFullPopulation) {
+  Rng rng(17);
+  auto sample = rng.SampleDistinct(20, 20);
+  std::sort(sample.begin(), sample.end());
+  for (uint64_t i = 0; i < 20; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, PowerLawWithinCap) {
+  Rng rng(19);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextPowerLaw(2.5, 50);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(RngTest, PowerLawSkewsLow) {
+  Rng rng(23);
+  int ones = 0;
+  for (int i = 0; i < 5000; ++i) ones += (rng.NextPowerLaw(2.5, 50) == 1);
+  EXPECT_GT(ones, 2500);  // gamma 2.5 puts most mass at 1
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(SplitMixTest, Deterministic) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+}
+
+}  // namespace
+}  // namespace tkc

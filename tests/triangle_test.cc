@@ -1,0 +1,132 @@
+#include "tkc/graph/triangle.h"
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "tkc/gen/generators.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+// O(n^3) reference count.
+uint64_t BruteTriangleCount(const Graph& g) {
+  uint64_t count = 0;
+  const VertexId n = g.NumVertices();
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!g.HasEdge(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (g.HasEdge(a, c) && g.HasEdge(b, c)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(TriangleTest, EmptyAndTriangleFree) {
+  Graph empty;
+  EXPECT_EQ(CountTriangles(empty), 0u);
+  Graph path = PathGraph(10);
+  EXPECT_EQ(CountTriangles(path), 0u);
+  Graph cycle = CycleGraph(8);
+  EXPECT_EQ(CountTriangles(cycle), 0u);
+  Graph star = StarGraph(6);
+  EXPECT_EQ(CountTriangles(star), 0u);
+}
+
+TEST(TriangleTest, SingleTriangle) {
+  Graph g = CompleteGraph(3);
+  EXPECT_EQ(CountTriangles(g), 1u);
+  auto support = ComputeEdgeSupports(g);
+  g.ForEachEdge([&](EdgeId e, const Edge&) { EXPECT_EQ(support[e], 1u); });
+}
+
+TEST(TriangleTest, CompleteGraphCount) {
+  // K_n has C(n,3) triangles; every edge supports n-2 of them.
+  for (VertexId n : {4, 5, 6, 7}) {
+    Graph g = CompleteGraph(n);
+    uint64_t expect = static_cast<uint64_t>(n) * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(CountTriangles(g), expect) << "n=" << n;
+    auto support = ComputeEdgeSupports(g);
+    g.ForEachEdge([&](EdgeId e, const Edge&) {
+      EXPECT_EQ(support[e], n - 2u);
+    });
+  }
+}
+
+TEST(TriangleTest, EnumerationIsUniqueAndOrdered) {
+  Rng rng(101);
+  Graph g = ErdosRenyi(40, 0.2, rng);
+  std::set<std::tuple<VertexId, VertexId, VertexId>> seen;
+  ForEachTriangle(g, [&](const Triangle& t) {
+    EXPECT_LT(t.a, t.b);
+    EXPECT_LT(t.b, t.c);
+    EXPECT_TRUE(seen.emplace(t.a, t.b, t.c).second) << "duplicate triangle";
+    // Edge ids must match the named vertex pairs.
+    EXPECT_EQ(g.FindEdge(t.a, t.b), t.ab);
+    EXPECT_EQ(g.FindEdge(t.a, t.c), t.ac);
+    EXPECT_EQ(g.FindEdge(t.b, t.c), t.bc);
+  });
+  EXPECT_EQ(seen.size(), BruteTriangleCount(g));
+}
+
+TEST(TriangleTest, CountMatchesBruteForceOnRandomGraphs) {
+  for (uint64_t seed : {1, 2, 3, 4, 5}) {
+    Rng rng(seed);
+    Graph g = ErdosRenyi(30, 0.25, rng);
+    EXPECT_EQ(CountTriangles(g), BruteTriangleCount(g)) << "seed=" << seed;
+  }
+}
+
+TEST(TriangleTest, SupportsMatchPerEdgeCommonNeighbors) {
+  Rng rng(7);
+  Graph g = PowerLawCluster(120, 3, 0.6, rng);
+  auto support = ComputeEdgeSupports(g);
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    EXPECT_EQ(support[e], g.CountCommonNeighbors(edge.u, edge.v));
+    EXPECT_EQ(support[e], EdgeSupport(g, e));
+  });
+}
+
+TEST(TriangleTest, ForEachTriangleOnEdge) {
+  Graph g = CompleteGraph(5);
+  EdgeId e = g.FindEdge(1, 3);
+  std::set<VertexId> apexes;
+  ForEachTriangleOnEdge(g, e, [&](VertexId w, EdgeId e1, EdgeId e2) {
+    apexes.insert(w);
+    EXPECT_TRUE(g.IsEdgeAlive(e1));
+    EXPECT_TRUE(g.IsEdgeAlive(e2));
+  });
+  EXPECT_EQ(apexes, (std::set<VertexId>{0, 2, 4}));
+}
+
+TEST(TriangleTest, SupportsRespectDeletedEdges) {
+  Graph g = CompleteGraph(4);
+  g.RemoveEdge(0, 1);
+  auto support = ComputeEdgeSupports(g);
+  // K4 minus one edge: the opposite edge (2,3) keeps 2 triangles... no —
+  // triangles through {0,1} are gone; (2,3) supports only via apex 0 and 1.
+  EXPECT_EQ(CountTriangles(g), 2u);
+  EXPECT_EQ(support[g.FindEdge(2, 3)], 2u);
+  EXPECT_EQ(support[g.FindEdge(0, 2)], 1u);
+}
+
+TEST(TriangleTest, StatsAggregate) {
+  Graph g = CompleteGraph(6);
+  TriangleStats stats = ComputeTriangleStats(g);
+  EXPECT_EQ(stats.triangle_count, 20u);
+  EXPECT_EQ(stats.max_edge_support, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_edge_support, 4.0);
+}
+
+TEST(TriangleTest, ListTriangles) {
+  Graph g = CompleteGraph(4);
+  auto tris = ListTriangles(g);
+  EXPECT_EQ(tris.size(), 4u);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,14 @@
+// The `tkc` command-line tool: decompose / plot / update / probe graphs
+// from edge-list files. All logic lives in tkc/cli/cli.{h,cc} (tested in
+// tests/cli_test.cc); this is the argv adapter.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tkc/cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tkc::RunCli(args, std::cout, std::cerr);
+}
