@@ -16,6 +16,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("claim3_convergence", cfg);
   std::printf("=== Claim 3: TriDN/BiTriDN fixpoint == kappa(e) ===\n\n");
 
   TablePrinter table({12, 10, 12, 12, 12, 12, 12});
@@ -42,6 +43,16 @@ int Run(int argc, char** argv) {
                FmtCount(bi.iterations),
                Fmt(100.0 * agree_tri / edges, 2) + "%",
                Fmt(100.0 * agree_bi / edges, 2) + "%"});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("dataset", name)
+                      .Set("edges", edges)
+                      .Set("tkc_seconds", tkc_s)
+                      .Set("tridn_iterations", tri.iterations)
+                      .Set("bitridn_iterations", bi.iterations)
+                      .Set("agree_tridn", static_cast<double>(agree_tri) /
+                                              static_cast<double>(edges))
+                      .Set("agree_bitridn", static_cast<double>(agree_bi) /
+                                                static_cast<double>(edges)));
   }
   table.Rule();
   std::printf(
@@ -49,7 +60,7 @@ int Run(int argc, char** argv) {
       "columns show why the direct peel wins: TriDN walks lambda down one\n"
       "unit per pass, BiTriDN jumps but still re-scans all edges per "
       "pass.\n");
-  return 0;
+  return report.Finish(0);
 }
 
 }  // namespace

@@ -3,13 +3,19 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "tkc/gen/datasets.h"
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/json.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 #include "tkc/util/timer.h"
 
 namespace tkc::bench {
@@ -18,11 +24,22 @@ namespace tkc::bench {
 ///   --size-factor=<f>  scale every dataset's vertex count by f
 ///   --quick            shorthand for --size-factor=0.05 (smoke run)
 ///   --seed=<n>         base RNG seed (default 2012, the paper's year)
+///   --json-out=<file>  also write a machine-readable result artifact
 struct BenchConfig {
   double size_factor = 1.0;
   uint64_t seed = 2012;
+  std::string json_out;
 };
 
+inline void PrintBenchUsage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--size-factor=F] [--quick] [--seed=N] "
+               "[--json-out=FILE]\n",
+               argv0);
+}
+
+/// Strict parse: an unrecognized argument prints usage and exits non-zero
+/// (silently ignored flags have burned too many benchmark runs).
 inline BenchConfig ParseArgs(int argc, char** argv) {
   BenchConfig cfg;
   for (int i = 1; i < argc; ++i) {
@@ -33,8 +50,15 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       cfg.size_factor = 0.05;
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       cfg.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
+      cfg.json_out = arg + 11;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      PrintBenchUsage(argv[0]);
+      std::exit(0);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
+      PrintBenchUsage(argv[0]);
+      std::exit(2);
     }
   }
   return cfg;
@@ -92,6 +116,66 @@ inline void PrintGraphSummary(const std::string& name, const Graph& g) {
               g.NumVertices(), g.NumEdges(),
               static_cast<unsigned long long>(CountTriangles(g)));
 }
+
+/// Machine-readable companion to the human tables: collects result rows and
+/// (on Finish, when --json-out was given) writes the tkc.bench.v1 artifact —
+/// run config, the rows, a dump of the global metrics registry, and the
+/// phase-span tree. This is the feed for the BENCH_*.json perf trajectory.
+///
+/// Construction resets the global registry/tracer so the dump describes
+/// exactly this bench process.
+class BenchReporter {
+ public:
+  BenchReporter(std::string bench_name, const BenchConfig& cfg)
+      : bench_name_(std::move(bench_name)), cfg_(cfg),
+        rows_(obs::JsonValue::Array()), notes_(obs::JsonValue::Object()) {
+    obs::MetricsRegistry::Global().Reset();
+    obs::PhaseTracer::Global().Reset();
+  }
+
+  /// Appends one result row (typically one per dataset/table line).
+  void AddRow(obs::JsonValue row) { rows_.Push(std::move(row)); }
+
+  /// Attaches a top-level key (artifact paths, derived aggregates, ...).
+  void Note(const std::string& key, obs::JsonValue value) {
+    notes_.Set(key, std::move(value));
+  }
+
+  /// Writes the artifact if --json-out was given. Returns `code` so benches
+  /// can end with `return report.Finish(0);`.
+  int Finish(int code = 0) {
+    if (cfg_.json_out.empty()) return code;
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", "tkc.bench.v1")
+        .Set("bench", bench_name_)
+        .Set("size_factor", cfg_.size_factor)
+        .Set("seed", cfg_.seed)
+        .Set("total_seconds", total_.Seconds())
+        .Set("exit_code", code);
+    for (auto& [key, value] : notes_.Members()) {
+      doc.Set(key, value);
+    }
+    doc.Set("rows", std::move(rows_))
+        .Set("metrics", obs::MetricsRegistry::Global().ToJson())
+        .Set("trace", obs::PhaseTracer::Global().ToJson());
+    std::ofstream file(cfg_.json_out);
+    file << doc.Dump(2) << '\n';
+    if (!file.good()) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   cfg_.json_out.c_str());
+      return code == 0 ? 2 : code;
+    }
+    std::printf("wrote %s\n", cfg_.json_out.c_str());
+    return code;
+  }
+
+ private:
+  std::string bench_name_;
+  BenchConfig cfg_;
+  Timer total_;
+  obs::JsonValue rows_;
+  obs::JsonValue notes_;
+};
 
 }  // namespace tkc::bench
 

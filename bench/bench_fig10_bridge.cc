@@ -22,6 +22,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig10_bridge", cfg);
   std::printf("=== Figure 10: Bridge cliques, DBLP 2003 -> 2004 ===\n\n");
 
   Rng rng(cfg.seed + 1);
@@ -87,6 +88,10 @@ int Run(int argc, char** argv) {
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),
                FmtCount(plateaus[i].end - plateaus[i].begin), names});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("plateau", i + 1)
+                      .Set("height", plateaus[i].value)
+                      .Set("width", plateaus[i].end - plateaus[i].begin));
   }
   table.Rule();
 
@@ -115,7 +120,10 @@ int Run(int argc, char** argv) {
   }
   WriteTextFile(ArtifactDir() + "/fig10_bridge.svg", RenderSvg(plot, svg));
   std::printf("artifact: %s/fig10_bridge.svg\n", ArtifactDir().c_str());
-  return reproduced ? 0 : 1;
+  report.Note("characteristic_triangles", det.characteristic_triangles);
+  report.Note("possible_triangles", det.possible_triangles);
+  report.Note("reproduced", reproduced);
+  return report.Finish(reproduced ? 0 : 1);
 }
 
 }  // namespace

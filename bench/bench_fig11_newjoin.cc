@@ -19,6 +19,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig11_newjoin", cfg);
   std::printf("=== Figure 11: New Join cliques, DBLP 2000 -> 2001 ===\n\n");
 
   Rng rng(cfg.seed + 2);
@@ -80,6 +81,10 @@ int Run(int argc, char** argv) {
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),
                FmtCount(plateaus[i].end - plateaus[i].begin), names});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("plateau", i + 1)
+                      .Set("height", plateaus[i].value)
+                      .Set("width", plateaus[i].end - plateaus[i].begin));
   }
   table.Rule();
 
@@ -108,7 +113,10 @@ int Run(int argc, char** argv) {
   }
   WriteTextFile(ArtifactDir() + "/fig11_newjoin.svg", RenderSvg(plot, svg));
   std::printf("artifact: %s/fig11_newjoin.svg\n", ArtifactDir().c_str());
-  return reproduced ? 0 : 1;
+  report.Note("characteristic_triangles", det.characteristic_triangles);
+  report.Note("possible_triangles", det.possible_triangles);
+  report.Note("reproduced", reproduced);
+  return report.Finish(reproduced ? 0 : 1);
 }
 
 }  // namespace

@@ -22,6 +22,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig12_static_bridge", cfg);
   std::printf(
       "=== Figure 12: static Bridge cliques across PPI complexes ===\n\n");
 
@@ -84,6 +85,10 @@ int Run(int argc, char** argv) {
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),
                FmtCount(plateaus[i].end - plateaus[i].begin), names});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("plateau", i + 1)
+                      .Set("height", plateaus[i].value)
+                      .Set("width", plateaus[i].end - plateaus[i].begin));
   }
   table.Rule();
 
@@ -144,7 +149,9 @@ int Run(int argc, char** argv) {
   }
   std::printf("\nartifacts: %s/fig12_bridge.svg, fig12_bridge1_drawing.svg\n",
               ArtifactDir().c_str());
-  return (bridge1 && bridges23) ? 0 : 1;
+  report.Note("bridge1_reproduced", bridge1);
+  report.Note("bridges23_reproduced", bridges23);
+  return report.Finish((bridge1 && bridges23) ? 0 : 1);
 }
 
 }  // namespace

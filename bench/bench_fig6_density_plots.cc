@@ -21,6 +21,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig6_density_plots", cfg);
   std::printf("=== Figure 6: CSV plot vs Triangle K-Core plot ===\n");
   std::printf("size-factor=%.3f seed=%llu\n\n", cfg.size_factor,
               static_cast<unsigned long long>(cfg.seed));
@@ -61,6 +62,15 @@ int Run(int argc, char** argv) {
     bottom.series_color = "#2ca02c";
     std::string path = ArtifactDir() + "/fig6_" + name + ".svg";
     WriteTextFile(path, RenderDualSvg(csv_plot, tkc_plot, top, bottom));
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("dataset", name)
+                      .Set("vertices", g.NumVertices())
+                      .Set("csv_seconds", csv_s)
+                      .Set("tkc_seconds", tkc_s)
+                      .Set("value_correlation", cmp.value_correlation)
+                      .Set("identical_fraction", cmp.identical_fraction)
+                      .Set("max_abs_diff", cmp.max_abs_diff)
+                      .Set("svg", path));
   }
   table.Rule();
 
@@ -77,7 +87,7 @@ int Run(int argc, char** argv) {
               RenderAsciiChart(BuildDensityPlot(ppi.graph, co), opt).c_str());
   std::printf("\nSVGs written to %s/fig6_<dataset>.svg\n",
               ArtifactDir().c_str());
-  return 0;
+  return report.Finish(0);
 }
 
 }  // namespace

@@ -44,6 +44,7 @@ void Connect(std::vector<EdgeEvent>& adds, const std::vector<VertexId>& a,
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig8_dualview", cfg);
   std::printf("=== Figure 8: Dual View plots on Wiki-like snapshots ===\n\n");
 
   Rng rng(cfg.seed);
@@ -106,6 +107,12 @@ int Run(int argc, char** argv) {
     if (missing > 0) desc += "+ " + FmtCount(missing) + " new page(s)";
     table.Row({marker_names[i], FmtCount(p.value),
                FmtCount(p.end - p.begin), desc});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("marker", marker_names[i])
+                      .Set("height", p.value)
+                      .Set("width", p.end - p.begin)
+                      .Set("before_clusters", corr.clusters.size())
+                      .Set("new_pages", missing));
     bottom_opt.markers.push_back({p.begin, p.end, marker_names[i],
                                   colors[i]});
     // Mark the corresponding region(s) in plot(a).
@@ -144,7 +151,8 @@ int Run(int argc, char** argv) {
   WriteTextFile(ArtifactDir() + "/fig8_dualview.svg",
                 RenderDualSvg(dual.before, dual.after, top_opt, bottom_opt));
   std::printf("\nartifact: %s/fig8_dualview.svg\n", ArtifactDir().c_str());
-  return green_story ? 0 : 1;
+  report.Note("green_story_reproduced", green_story);
+  return report.Finish(green_story ? 0 : 1);
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ namespace {
 
 int Run(int argc, char** argv) {
   BenchConfig cfg = ParseArgs(argc, argv);
+  BenchReporter report("fig9_newform", cfg);
   std::printf("=== Figure 9: New Form cliques, DBLP year pair ===\n\n");
 
   Rng rng(cfg.seed);
@@ -81,6 +82,10 @@ int Run(int argc, char** argv) {
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),
                FmtCount(plateaus[i].end - plateaus[i].begin), names});
+    report.AddRow(tkc::obs::JsonValue::Object()
+                      .Set("plateau", i + 1)
+                      .Set("height", plateaus[i].value)
+                      .Set("width", plateaus[i].end - plateaus[i].begin));
   }
   table.Rule();
 
@@ -110,7 +115,9 @@ int Run(int argc, char** argv) {
   }
   WriteTextFile(ArtifactDir() + "/fig9_newform.svg", RenderSvg(plot, svg));
   std::printf("artifact: %s/fig9_newform.svg\n", ArtifactDir().c_str());
-  return reproduced ? 0 : 1;
+  report.Note("characteristic_triangles", det.characteristic_triangles);
+  report.Note("reproduced", reproduced);
+  return report.Finish(reproduced ? 0 : 1);
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+# ctest smoke for the machine-readable bench output: run one quick bench
+# with --json-out and prove the artifact parses under the repo's strict
+# JSON reader with the tkc.bench.v1 top-level keys present. Invoked as
+#   cmake -DBENCH=<bench binary> -DJSON_CHECK=<json_check binary>
+#         -DOUT=<artifact path> -P bench_json_smoke.cmake
+
+execute_process(
+  COMMAND "${BENCH}" --quick --json-out=${OUT}
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${OUT}"
+          --require=schema --require=bench --require=seed
+          --require=rows --require=metrics --require=trace
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "json_check rejected ${OUT} (${check_rc})")
+endif()

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "tkc/baselines/dn_graph.h"
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/triangle_core.h"
@@ -128,4 +132,30 @@ BENCHMARK(BM_EdgeLookup)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace tkc
 
-BENCHMARK_MAIN();
+// google-benchmark owns the command line here; accept the repo-wide
+// --json-out= flag by translating it into the library's native reporter
+// flags, so every bench binary shares one machine-readable interface.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    constexpr std::string_view kJsonOut = "--json-out=";
+    if (arg.substr(0, kJsonOut.size()) == kJsonOut) {
+      args.emplace_back("--benchmark_out=" +
+                        std::string(arg.substr(kJsonOut.size())));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(arg);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,10 +4,13 @@
 
 #include "tkc/baselines/naive.h"
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 
 namespace tkc {
 
 CsvResult ComputeCsv(const Graph& g, const CsvOptions& options) {
+  TKC_SPAN("baseline.csv");
   CsvResult result;
   result.co_clique_size.assign(g.EdgeCapacity(), 0);
 
@@ -109,6 +112,12 @@ CsvResult ComputeCsv(const Graph& g, const CsvOptions& options) {
     uint32_t omega = static_cast<uint32_t>(std::max<size_t>(best.size(), 1));
     result.co_clique_size[e] = 2 + omega;
   });
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("baseline.csv.search_nodes").Add(result.search_nodes);
+  registry.GetCounter("baseline.csv.estimated_edges")
+      .Add(result.estimated_edges);
+  TKC_SPAN_COUNTER("search_nodes", result.search_nodes);
+  TKC_SPAN_COUNTER("estimated_edges", result.estimated_edges);
   return result;
 }
 

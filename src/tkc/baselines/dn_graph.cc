@@ -4,6 +4,8 @@
 
 #include "tkc/core/core_extraction.h"
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 
 namespace tkc {
 
@@ -28,8 +30,9 @@ uint32_t SupportedLevel(const Graph& g, const std::vector<uint32_t>& lambda,
 }
 
 template <typename Refine>
-DnGraphResult IterateToFixpoint(const Graph& g, uint32_t max_iterations,
-                                Refine&& refine) {
+DnGraphResult IterateToFixpoint(const Graph& g, const char* span_name,
+                                uint32_t max_iterations, Refine&& refine) {
+  TKC_SPAN(span_name);
   DnGraphResult result;
   result.lambda = ComputeEdgeSupports(g);
   const std::vector<EdgeId> live = g.EdgeIds();
@@ -38,6 +41,7 @@ DnGraphResult IterateToFixpoint(const Graph& g, uint32_t max_iterations,
     ++result.iterations;
     bool changed = false;
     // Synchronous pass: all updates read the previous iteration's values.
+    TKC_SPAN("pass");
     std::vector<uint32_t> next = result.lambda;
     for (EdgeId e : live) {
       ++result.edge_updates;
@@ -50,6 +54,11 @@ DnGraphResult IterateToFixpoint(const Graph& g, uint32_t max_iterations,
     result.lambda.swap(next);
     if (!changed) break;
   }
+  TKC_SPAN_COUNTER("iterations", result.iterations);
+  TKC_SPAN_COUNTER("edge_updates", result.edge_updates);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("baseline.dn.iterations").Add(result.iterations);
+  registry.GetCounter("baseline.dn.edge_updates").Add(result.edge_updates);
   return result;
 }
 
@@ -57,7 +66,7 @@ DnGraphResult IterateToFixpoint(const Graph& g, uint32_t max_iterations,
 
 DnGraphResult TriDn(const Graph& g, uint32_t max_iterations) {
   return IterateToFixpoint(
-      g, max_iterations,
+      g, "baseline.tridn", max_iterations,
       [&g](const std::vector<uint32_t>& lambda, EdgeId e) -> uint32_t {
         uint32_t current = lambda[e];
         if (current == 0) return 0;
@@ -73,7 +82,7 @@ DnGraphResult TriDn(const Graph& g, uint32_t max_iterations) {
 
 DnGraphResult BiTriDn(const Graph& g, uint32_t max_iterations) {
   return IterateToFixpoint(
-      g, max_iterations,
+      g, "baseline.bitridn", max_iterations,
       [&g](const std::vector<uint32_t>& lambda, EdgeId e) -> uint32_t {
         return SupportedLevel(g, lambda, e, lambda[e]);
       });

@@ -1,10 +1,12 @@
 #include "tkc/cli/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/hierarchy.h"
@@ -13,6 +15,10 @@
 #include "tkc/graph/kcore.h"
 #include "tkc/graph/stats.h"
 #include "tkc/io/edge_list.h"
+#include "tkc/obs/json.h"
+#include "tkc/obs/log.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 #include "tkc/patterns/patterns.h"
 #include "tkc/util/random.h"
 #include "tkc/util/timer.h"
@@ -61,10 +67,17 @@ ParsedArgs Parse(const std::vector<std::string>& args) {
 }
 
 std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err) {
+  TKC_SPAN("cli.load_graph");
   auto g = ReadEdgeListFile(path);
   if (!g.has_value()) {
     err << "error: cannot read edge list '" << path << "'\n";
+    obs::Logger::Global().Error("graph.load_failed", {{"path", path}});
+    return g;
   }
+  obs::Logger::Global().Info("graph.loaded",
+                             {{"path", path},
+                              {"vertices", g->NumVertices()},
+                              {"edges", g->NumEdges()}});
   return g;
 }
 
@@ -78,6 +91,11 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
   Timer t;
   TriangleCoreResult r = ComputeTriangleCores(*g, mode);
   double seconds = t.Seconds();
+  obs::Logger::Global().Info("decompose.done",
+                             {{"edges", g->NumEdges()},
+                              {"triangles", r.triangle_count},
+                              {"max_kappa", r.max_kappa},
+                              {"seconds", seconds}});
   out << "# u v kappa co_clique_size\n";
   g->ForEachEdge([&](EdgeId e, const Edge& edge) {
     out << edge.u << ' ' << edge.v << ' ' << r.kappa[e] << ' '
@@ -197,9 +215,12 @@ int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     out << edge.u << ' ' << edge.v << ' ' << dyn.kappa()[e] << '\n';
   });
   out << "# events=" << events->size() << " update_seconds=" << update_s
-      << " recompute_seconds=" << recompute_s
-      << " touched_edges=" << stats.candidate_edges
+      << " recompute_seconds=" << recompute_s << ' ' << stats
       << " verified=" << (match ? "yes" : "NO") << '\n';
+  if (!match) {
+    obs::Logger::Global().Error("update.verify_failed",
+                                {{"events", events->size()}});
+  }
   return match ? 0 : 3;
 }
 
@@ -287,7 +308,7 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
 }
 
 void PrintUsage(std::ostream& err) {
-  err << "usage: tkc <command> ...\n"
+  err << "usage: tkc <command> ... [--log-level=L] [--metrics-out=FILE]\n"
          "  decompose <edges.txt> [--mode=store|recompute]\n"
          "  kcore     <edges.txt>\n"
          "  stats     <edges.txt>\n"
@@ -296,15 +317,50 @@ void PrintUsage(std::ostream& err) {
          "  update    <edges.txt> <events.txt>\n"
          "  templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin\n"
          "  generate  <er|gnm|ba|plc|ws|rmat|geometric|collab> --out=FILE\n"
-         "            [--n=N] [--m=M] [--p=P] [--seed=S]\n";
+         "            [--n=N] [--m=M] [--p=P] [--seed=S]\n"
+         "global flags (any command):\n"
+         "  --log-level=error|warn|info|debug   structured logs on stderr\n"
+         "  --metrics-out=FILE                  write metrics + phase-trace "
+         "JSON\n";
 }
 
 }  // namespace
 
-int RunCli(const std::vector<std::string>& args, std::ostream& out,
-           std::ostream& err) {
-  ParsedArgs parsed = Parse(args);
+namespace {
+
+// Flags each subcommand accepts, beyond the global --log-level and
+// --metrics-out. A flag outside this list is a usage error, not a typo to
+// ignore silently.
+bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
+                std::ostream& err) {
+  static const std::map<std::string, std::vector<std::string>> kAllowed = {
+      {"decompose", {"mode"}},
+      {"kcore", {}},
+      {"stats", {}},
+      {"plot", {"svg", "width", "height"}},
+      {"hierarchy", {"max-nodes"}},
+      {"update", {}},
+      {"templates", {"pattern", "min-size"}},
+      {"generate", {"out", "seed", "n", "m", "p", "scale"}},
+  };
+  auto it = kAllowed.find(cmd);
+  if (it == kAllowed.end()) return true;  // unknown command: handled later
+  for (const auto& [key, value] : parsed.flags) {
+    if (key == "log-level" || key == "metrics-out") continue;
+    if (std::find(it->second.begin(), it->second.end(), key) ==
+        it->second.end()) {
+      err << "error: unknown flag '--" << key << "' for '" << cmd << "'\n";
+      PrintUsage(err);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Dispatch(const std::string& cmd, const ParsedArgs& parsed,
+             std::ostream& out, std::ostream& err) {
   const auto& pos = parsed.positional;
+  if (!FlagsValid(cmd, parsed, err)) return 2;
   auto need = [&](size_t count) {
     if (pos.size() < count) {
       PrintUsage(err);
@@ -312,11 +368,6 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     }
     return true;
   };
-  if (pos.empty()) {
-    PrintUsage(err);
-    return 2;
-  }
-  const std::string& cmd = pos[0];
   if (cmd == "decompose" && need(2)) return CmdDecompose(parsed, out, err);
   if (cmd == "kcore" && need(2)) return CmdKCore(parsed, out, err);
   if (cmd == "stats" && need(2)) return CmdStats(parsed, out, err);
@@ -327,6 +378,62 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   if (cmd == "generate" && need(2)) return CmdGenerate(parsed, out, err);
   PrintUsage(err);
   return 2;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  ParsedArgs parsed = Parse(args);
+  if (parsed.positional.empty()) {
+    PrintUsage(err);
+    return 2;
+  }
+
+  // Global observability flags, honored by every subcommand. The logger
+  // writes to the caller's error stream so embedders and tests capture it.
+  obs::Logger& logger = obs::Logger::Global();
+  logger.SetSink(&err);
+  logger.SetLevel(obs::LogLevel::kWarn);
+  const std::string level_text = parsed.Flag("log-level", "");
+  if (!level_text.empty()) {
+    auto level = obs::ParseLogLevel(level_text);
+    if (!level.has_value()) {
+      err << "error: unknown --log-level '" << level_text << "'\n";
+      return 2;
+    }
+    logger.SetLevel(*level);
+  }
+  const std::string metrics_out = parsed.Flag("metrics-out", "");
+
+  // Fresh counters and trace per invocation so a --metrics-out dump
+  // describes exactly this command.
+  obs::MetricsRegistry::Global().Reset();
+  obs::PhaseTracer::Global().Reset();
+
+  const std::string& cmd = parsed.positional[0];
+  int code;
+  {
+    TKC_SPAN(cmd);
+    code = Dispatch(cmd, parsed, out, err);
+  }
+
+  if (!metrics_out.empty()) {
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", "tkc.metrics.v1")
+        .Set("command", cmd)
+        .Set("exit_code", code)
+        .Set("metrics", obs::MetricsRegistry::Global().ToJson())
+        .Set("trace", obs::PhaseTracer::Global().ToJson());
+    std::ofstream file(metrics_out);
+    file << doc.Dump(2) << '\n';
+    if (!file.good()) {
+      err << "error: cannot write metrics to '" << metrics_out << "'\n";
+      return 2;
+    }
+    logger.Info("metrics.written", {{"path", metrics_out}});
+  }
+  return code;
 }
 
 }  // namespace tkc

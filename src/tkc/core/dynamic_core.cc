@@ -2,11 +2,62 @@
 
 #include <algorithm>
 #include <deque>
+#include <ostream>
 
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
+#include "tkc/util/timer.h"
 
 namespace tkc {
+
+namespace {
+
+// Folds the per-event UpdateStats into the process-wide registry: shared
+// work counters plus per-kind latency and affected-region histograms (the
+// Rule-0 locality claim, measurable).
+void RecordUpdate(bool is_insert, double seconds, const UpdateStats& s) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& inserts = registry.GetCounter("dyn.insert.count");
+  static obs::Counter& removes = registry.GetCounter("dyn.remove.count");
+  static obs::Counter& candidates =
+      registry.GetCounter("dyn.candidate_edges");
+  static obs::Counter& promoted = registry.GetCounter("dyn.promoted_edges");
+  static obs::Counter& demoted = registry.GetCounter("dyn.demoted_edges");
+  static obs::Counter& triangles =
+      registry.GetCounter("dyn.triangles_scanned");
+  static obs::Histogram& insert_latency =
+      registry.GetHistogram("dyn.insert.latency_ns");
+  static obs::Histogram& remove_latency =
+      registry.GetHistogram("dyn.remove.latency_ns");
+  static obs::Histogram& insert_affected =
+      registry.GetHistogram("dyn.insert.affected_edges");
+  static obs::Histogram& remove_affected =
+      registry.GetHistogram("dyn.remove.affected_edges");
+  (is_insert ? inserts : removes).Add(1);
+  candidates.Add(s.candidate_edges);
+  promoted.Add(s.promoted_edges);
+  demoted.Add(s.demoted_edges);
+  triangles.Add(s.triangles_scanned);
+  (is_insert ? insert_latency : remove_latency).ObserveSeconds(seconds);
+  (is_insert ? insert_affected : remove_affected).Observe(s.candidate_edges);
+  TKC_SPAN_COUNTER("candidate_edges", s.candidate_edges);
+  TKC_SPAN_COUNTER("triangles_scanned", s.triangles_scanned);
+}
+
+}  // namespace
+
+std::string UpdateStats::ToString() const {
+  return "candidates=" + std::to_string(candidate_edges) +
+         " promoted=" + std::to_string(promoted_edges) +
+         " demoted=" + std::to_string(demoted_edges) +
+         " triangles_scanned=" + std::to_string(triangles_scanned);
+}
+
+std::ostream& operator<<(std::ostream& os, const UpdateStats& stats) {
+  return os << stats.ToString();
+}
 
 DynamicTriangleCore::DynamicTriangleCore(Graph graph)
     : graph_(std::move(graph)) {
@@ -49,6 +100,8 @@ EdgeId DynamicTriangleCore::InsertEdge(VertexId u, VertexId v) {
   bool inserted = false;
   EdgeId e0 = graph_.AddEdge(u, v, &inserted);
   if (!inserted) return e0;
+  TKC_SPAN("dyn.insert");
+  Timer latency;
   GrowArrays();
   last_stats_ = UpdateStats{};
 
@@ -81,6 +134,7 @@ EdgeId DynamicTriangleCore::InsertEdge(VertexId u, VertexId v) {
   total_stats_.candidate_edges += last_stats_.candidate_edges;
   total_stats_.promoted_edges += last_stats_.promoted_edges;
   total_stats_.triangles_scanned += last_stats_.triangles_scanned;
+  RecordUpdate(/*is_insert=*/true, latency.Seconds(), last_stats_);
   return e0;
 }
 
@@ -162,6 +216,7 @@ void DynamicTriangleCore::ProcessInsertLevel(EdgeId e0, uint32_t k,
 
 UpdateStats DynamicTriangleCore::ApplyEvents(
     const std::vector<EdgeEvent>& events) {
+  TKC_SPAN("dyn.apply_events");
   UpdateStats batch;
   for (const EdgeEvent& ev : events) {
     if (ev.kind == EdgeEvent::Kind::kInsert) {
@@ -198,6 +253,8 @@ void DynamicTriangleCore::RemoveEdgeById(EdgeId e0) {
 }
 
 void DynamicTriangleCore::RemoveEdgeInternal(EdgeId e0) {
+  TKC_SPAN("dyn.remove");
+  Timer latency;
   last_stats_ = UpdateStats{};
   const uint32_t k0 = kappa_[e0];
 
@@ -228,6 +285,7 @@ void DynamicTriangleCore::RemoveEdgeInternal(EdgeId e0) {
   total_stats_.candidate_edges += last_stats_.candidate_edges;
   total_stats_.demoted_edges += last_stats_.demoted_edges;
   total_stats_.triangles_scanned += last_stats_.triangles_scanned;
+  RecordUpdate(/*is_insert=*/false, latency.Seconds(), last_stats_);
 }
 
 void DynamicTriangleCore::PumpDemotions(std::vector<EdgeId>& queue) {

@@ -2,6 +2,8 @@
 #define TKC_CORE_DYNAMIC_CORE_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "tkc/core/triangle_core.h"
@@ -19,7 +21,12 @@ struct UpdateStats {
   uint64_t promoted_edges = 0;    // κ increased by 1
   uint64_t demoted_edges = 0;     // κ decreased
   uint64_t triangles_scanned = 0; // triangle visits during the update
+
+  /// "candidates=N promoted=N demoted=N triangles_scanned=N".
+  std::string ToString() const;
 };
+
+std::ostream& operator<<(std::ostream& os, const UpdateStats& stats);
 
 /// Incrementally maintained Triangle K-Core decomposition (the paper's
 /// Algorithm 2, with the appendix's Algorithms 5-7 realized as a local

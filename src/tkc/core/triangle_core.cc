@@ -1,9 +1,12 @@
 #include "tkc/core/triangle_core.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
 
 namespace tkc {
@@ -62,6 +65,7 @@ class EdgeBucketQueue {
 template <typename GraphT>
 TriangleCoreResult PeelTriangleCores(const GraphT& g,
                                      TriangleStorageMode mode) {
+  TKC_SPAN("core.decompose");
   const size_t cap = g.EdgeCapacity();
   TriangleCoreResult result;
   result.kappa.assign(cap, 0);
@@ -76,60 +80,94 @@ TriangleCoreResult PeelTriangleCores(const GraphT& g,
   std::vector<uint32_t> support(cap, 0);
   std::vector<std::vector<std::pair<EdgeId, EdgeId>>> stored;
   if (mode == TriangleStorageMode::kStoreTriangles) stored.resize(cap);
-  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
-    g.ForEachCommonNeighbor(edge.u, edge.v,
-                            [&](VertexId w, EdgeId uw, EdgeId vw) {
-                              if (w <= edge.v) return;
-                              ++support[e];
-                              ++support[uw];
-                              ++support[vw];
-                              ++result.triangle_count;
-                              if (mode ==
-                                  TriangleStorageMode::kStoreTriangles) {
-                                stored[e].emplace_back(uw, vw);
-                                stored[uw].emplace_back(e, vw);
-                                stored[vw].emplace_back(e, uw);
-                              }
-                            });
-  });
+  {
+    TKC_SPAN("support_count");
+    uint64_t wedges = 0;
+    g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+      wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
+      g.ForEachCommonNeighbor(edge.u, edge.v,
+                              [&](VertexId w, EdgeId uw, EdgeId vw) {
+                                if (w <= edge.v) return;
+                                ++support[e];
+                                ++support[uw];
+                                ++support[vw];
+                                ++result.triangle_count;
+                                if (mode ==
+                                    TriangleStorageMode::kStoreTriangles) {
+                                  stored[e].emplace_back(uw, vw);
+                                  stored[uw].emplace_back(e, vw);
+                                  stored[vw].emplace_back(e, uw);
+                                }
+                              });
+    });
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("triangle.wedges_examined").Add(wedges);
+    registry.GetCounter("triangle.triangles_found")
+        .Add(result.triangle_count);
+    TKC_SPAN_COUNTER("wedges_examined", wedges);
+    TKC_SPAN_COUNTER("triangles_found", result.triangle_count);
+  }
 
   // Step 7: bucket sort edges by κ̃.
-  EdgeBucketQueue queue(live, support, cap);
   std::vector<bool> processed(cap, false);
+  EdgeBucketQueue queue = [&] {
+    TKC_SPAN("bucket_init");
+    return EdgeBucketQueue(live, support, cap);
+  }();
 
   // Steps 8-18: peel in increasing κ̃ order.
-  for (size_t i = 0; i < queue.Size(); ++i) {
-    const EdgeId et = queue.At(i);
-    const uint32_t k = support[et];
-    result.kappa[et] = k;
-    result.max_kappa = std::max(result.max_kappa, k);
-    result.order[et] = static_cast<uint32_t>(i);
-    result.peel_sequence.push_back(et);
-    processed[et] = true;
+  std::vector<uint64_t> peeled_per_level;
+  uint64_t relaxations = 0;
+  {
+    TKC_SPAN("peel");
+    for (size_t i = 0; i < queue.Size(); ++i) {
+      const EdgeId et = queue.At(i);
+      const uint32_t k = support[et];
+      result.kappa[et] = k;
+      result.max_kappa = std::max(result.max_kappa, k);
+      result.order[et] = static_cast<uint32_t>(i);
+      result.peel_sequence.push_back(et);
+      processed[et] = true;
+      if (peeled_per_level.size() <= k) peeled_per_level.resize(k + 1, 0);
+      ++peeled_per_level[k];
 
-    // For each *unprocessed* triangle T on et, lower the κ̃ of T's other
-    // edges that still exceed κ(et) (steps 10-17). A triangle is processed
-    // iff any of its edges is processed.
-    auto relax = [&](EdgeId e1, EdgeId e2) {
-      if (processed[e1] || processed[e2]) return;
-      if (support[e1] > k) {
-        queue.Decrement(e1, support[e1]);
-        --support[e1];
+      // For each *unprocessed* triangle T on et, lower the κ̃ of T's other
+      // edges that still exceed κ(et) (steps 10-17). A triangle is
+      // processed iff any of its edges is processed.
+      auto relax = [&](EdgeId e1, EdgeId e2) {
+        if (processed[e1] || processed[e2]) return;
+        if (support[e1] > k) {
+          queue.Decrement(e1, support[e1]);
+          --support[e1];
+          ++relaxations;
+        }
+        if (support[e2] > k) {
+          queue.Decrement(e2, support[e2]);
+          --support[e2];
+          ++relaxations;
+        }
+      };
+      if (mode == TriangleStorageMode::kStoreTriangles) {
+        for (const auto& [e1, e2] : stored[et]) relax(e1, e2);
+      } else {
+        Edge edge = g.GetEdge(et);
+        g.ForEachCommonNeighbor(edge.u, edge.v,
+                                [&](VertexId, EdgeId e1, EdgeId e2) {
+                                  relax(e1, e2);
+                                });
       }
-      if (support[e2] > k) {
-        queue.Decrement(e2, support[e2]);
-        --support[e2];
-      }
-    };
-    if (mode == TriangleStorageMode::kStoreTriangles) {
-      for (const auto& [e1, e2] : stored[et]) relax(e1, e2);
-    } else {
-      Edge edge = g.GetEdge(et);
-      g.ForEachCommonNeighbor(edge.u, edge.v,
-                              [&](VertexId, EdgeId e1, EdgeId e2) {
-                                relax(e1, e2);
-                              });
     }
+    TKC_SPAN_COUNTER("edges_peeled", live.size());
+    TKC_SPAN_COUNTER("support_relaxations", relaxations);
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("core.peel.edges_peeled").Add(live.size());
+  registry.GetCounter("core.peel.support_relaxations").Add(relaxations);
+  registry.GetGauge("core.peel.max_kappa").Set(result.max_kappa);
+  for (size_t k = 0; k < peeled_per_level.size(); ++k) {
+    if (peeled_per_level[k] == 0) continue;
+    registry.GetCounter("core.peel.level." + std::to_string(k))
+        .Add(peeled_per_level[k]);
   }
   return result;
 }

@@ -1,6 +1,39 @@
 #include "tkc/graph/triangle.h"
 
+#include <algorithm>
+
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
+
 namespace tkc {
+
+namespace {
+
+// Work proxy for one enumeration pass: intersecting the endpoint adjacency
+// lists of edge {u,v} costs (at most) the smaller degree in wedge probes.
+uint64_t WedgeWork(const Graph& g) {
+  uint64_t wedges = 0;
+  g.ForEachEdge([&](EdgeId, const Edge& e) {
+    wedges += std::min(g.Degree(e.u), g.Degree(e.v));
+  });
+  return wedges;
+}
+
+// Shared counters for every triangle-enumeration pass, whichever layer
+// runs it (see docs/observability.md for the naming scheme).
+void RecordEnumeration(uint64_t wedges, uint64_t triangles) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& wedge_counter =
+      registry.GetCounter("triangle.wedges_examined");
+  static obs::Counter& triangle_counter =
+      registry.GetCounter("triangle.triangles_found");
+  wedge_counter.Add(wedges);
+  triangle_counter.Add(triangles);
+  TKC_SPAN_COUNTER("wedges_examined", wedges);
+  TKC_SPAN_COUNTER("triangles_found", triangles);
+}
+
+}  // namespace
 
 uint32_t EdgeSupport(const Graph& g, EdgeId e) {
   Edge edge = g.GetEdge(e);
@@ -8,24 +41,32 @@ uint32_t EdgeSupport(const Graph& g, EdgeId e) {
 }
 
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
+  TKC_SPAN("triangle.supports");
   std::vector<uint32_t> support(g.EdgeCapacity(), 0);
+  uint64_t triangles = 0;
   ForEachTriangle(g, [&](const Triangle& t) {
     ++support[t.ab];
     ++support[t.ac];
     ++support[t.bc];
+    ++triangles;
   });
+  RecordEnumeration(WedgeWork(g), triangles);
   return support;
 }
 
 uint64_t CountTriangles(const Graph& g) {
+  TKC_SPAN("triangle.count");
   uint64_t n = 0;
   ForEachTriangle(g, [&](const Triangle&) { ++n; });
+  RecordEnumeration(WedgeWork(g), n);
   return n;
 }
 
 std::vector<Triangle> ListTriangles(const Graph& g) {
+  TKC_SPAN("triangle.list");
   std::vector<Triangle> out;
   ForEachTriangle(g, [&](const Triangle& t) { out.push_back(t); });
+  RecordEnumeration(WedgeWork(g), out.size());
   return out;
 }
 

@@ -1,0 +1,376 @@
+#include "tkc/obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "tkc/util/check.h"
+
+namespace tkc::obs {
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  TKC_CHECK(kind_ == Kind::kObject);
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Push(JsonValue value) {
+  TKC_CHECK(kind_ == Kind::kArray);
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindPath(std::string_view dotted) const {
+  const JsonValue* node = this;
+  while (!dotted.empty()) {
+    size_t dot = dotted.find('.');
+    std::string_view head =
+        dot == std::string_view::npos ? dotted : dotted.substr(0, dot);
+    node = node->Find(head);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    dotted.remove_prefix(dot + 1);
+  }
+  return node;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d, long long i, bool integral) {
+  if (integral) {
+    *out += std::to_string(i);
+    return;
+  }
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; emit null like most dumpers
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  TKC_CHECK(ec == std::errc());
+  out->append(buf, end);
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  *out += '\n';
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; break;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: AppendNumber(out, num_, int_, integral_); break;
+    case Kind::kString: *out += JsonEscape(str_); break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) *out += ',';
+        Newline(out, indent, depth + 1);
+        *out += JsonEscape(members_[i].first);
+        *out += indent < 0 ? ":" : ": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      *out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) *out += ',';
+        Newline(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      Newline(out, indent, depth);
+      *out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser; `ok` latches false on the first error.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> Run() {
+    JsonValue v = ParseValue();
+    SkipWs();
+    if (!ok_ || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(char c) {
+    if (Peek() != c) return Fail();
+    ++pos_;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) != w) return Fail();
+    pos_ += w.size();
+    return true;
+  }
+
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue ParseValue() {
+    SkipWs();
+    if (depth_ > 128) {  // defend against pathological nesting
+      Fail();
+      return JsonValue();
+    }
+    switch (Peek()) {
+      case 'n': ConsumeWord("null"); return JsonValue();
+      case 't': ConsumeWord("true"); return JsonValue(true);
+      case 'f': ConsumeWord("false"); return JsonValue(false);
+      case '"': return ParseString();
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseString() {
+    if (!Consume('"')) return JsonValue();
+    std::string out;
+    while (ok_) {
+      if (pos_ >= text_.size()) {
+        Fail();
+        break;
+      }
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail();
+        break;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail();
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4 && ok_; ++i) {
+            char h = pos_ < text_.size() ? text_[pos_++] : '\0';
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail();
+          }
+          if (!ok_) break;
+          // UTF-8 encode the BMP code point (surrogates pass through as-is;
+          // our writer only ever emits \u00xx control escapes).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: Fail();
+      }
+    }
+    return JsonValue(std::move(out));
+  }
+
+  JsonValue ParseNumber() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Fail();
+      return JsonValue();
+    }
+    bool integral = true;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      integral = false;
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail();
+        return JsonValue();
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      integral = false;
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Fail();
+        return JsonValue();
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    std::string_view tok = text_.substr(start, pos_ - start);
+    if (integral) {
+      long long i = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        return JsonValue(i);
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) Fail();
+    return JsonValue(d);
+  }
+
+  JsonValue ParseObject() {
+    Consume('{');
+    ++depth_;
+    JsonValue obj = JsonValue::Object();
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    while (ok_) {
+      SkipWs();
+      JsonValue key = ParseString();
+      SkipWs();
+      Consume(':');
+      JsonValue value = ParseValue();
+      if (!ok_) break;
+      obj.Set(key.Str(), std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Consume('}');
+      break;
+    }
+    --depth_;
+    return obj;
+  }
+
+  JsonValue ParseArray() {
+    Consume('[');
+    ++depth_;
+    JsonValue arr = JsonValue::Array();
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    while (ok_) {
+      JsonValue value = ParseValue();
+      if (!ok_) break;
+      arr.Push(std::move(value));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Consume(']');
+      break;
+    }
+    --depth_;
+    return arr;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+std::optional<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace tkc::obs

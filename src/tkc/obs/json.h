@@ -1,0 +1,91 @@
+#ifndef TKC_OBS_JSON_H_
+#define TKC_OBS_JSON_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tkc::obs {
+
+/// Minimal ordered JSON document: just enough for metrics export, span-tree
+/// dumps, and the bench reporters. Objects preserve insertion order (so
+/// artifacts diff cleanly) and integers print exactly. `Parse` is the
+/// matching strict reader used by tests and `json_check` to prove every
+/// artifact round-trips.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(int v) : JsonValue(static_cast<long long>(v)) {}
+  JsonValue(long v) : JsonValue(static_cast<long long>(v)) {}
+  JsonValue(long long v)
+      : kind_(Kind::kNumber), num_(static_cast<double>(v)), int_(v),
+        integral_(true) {}
+  JsonValue(unsigned v) : JsonValue(static_cast<long long>(v)) {}
+  JsonValue(unsigned long v)
+      : JsonValue(static_cast<unsigned long long>(v)) {}
+  JsonValue(unsigned long long v)
+      : JsonValue(static_cast<long long>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+
+  /// Appends a member (objects only). Returns *this for chaining.
+  JsonValue& Set(std::string key, JsonValue value);
+  /// Appends an element (arrays only). Returns *this for chaining.
+  JsonValue& Push(JsonValue value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Dotted-path lookup across nested objects, e.g. "metrics.counters".
+  const JsonValue* FindPath(std::string_view dotted) const;
+
+  bool Bool() const { return bool_; }
+  double Number() const { return num_; }
+  const std::string& Str() const { return str_; }
+  const std::vector<Member>& Members() const { return members_; }
+  const std::vector<JsonValue>& Items() const { return items_; }
+
+  /// Serializes; indent < 0 = compact, otherwise pretty with that step.
+  std::string Dump(int indent = -1) const;
+
+  /// Strict parse of a complete document; nullopt on any error or
+  /// trailing garbage.
+  static std::optional<JsonValue> Parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  long long int_ = 0;
+  bool integral_ = false;
+  std::string str_;
+  std::vector<Member> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Escapes `s` as a JSON string literal including the surrounding quotes.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tkc::obs
+
+#endif  // TKC_OBS_JSON_H_

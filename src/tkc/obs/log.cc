@@ -1,0 +1,102 @@
+#include "tkc/obs/log.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <iostream>
+
+#include "tkc/util/check.h"
+
+namespace tkc::obs {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "unknown";
+}
+
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "debug") return LogLevel::kDebug;
+  return std::nullopt;
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  if (!std::isfinite(v)) {
+    value = "nan";
+    return;
+  }
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  TKC_CHECK(ec == std::errc());
+  value.assign(buf, end);
+}
+
+namespace {
+
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (unsigned char c : v) {
+    if (c <= ' ' || c == '"' || c == '=' || c == '\\') return true;
+  }
+  return false;
+}
+
+void AppendValue(std::string* line, std::string_view v) {
+  if (!NeedsQuoting(v)) {
+    line->append(v);
+    return;
+  }
+  *line += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': *line += "\\\""; break;
+      case '\\': *line += "\\\\"; break;
+      case '\n': *line += "\\n"; break;
+      case '\r': *line += "\\r"; break;
+      case '\t': *line += "\\t"; break;
+      default: *line += c;
+    }
+  }
+  *line += '"';
+}
+
+}  // namespace
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!ShouldLog(level)) return;
+  std::string line;
+  line.reserve(64);
+  line += "level=";
+  line += LogLevelName(level);
+  line += " event=";
+  AppendValue(&line, event);
+  for (const LogField& f : fields) {
+    line += ' ';
+    line += f.key;
+    line += '=';
+    AppendValue(&line, f.value);
+  }
+  line += '\n';
+  // One formatted write so concurrent lines do not interleave mid-field.
+  (*sink_) << line << std::flush;
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger(&std::cerr, LogLevel::kWarn);
+  return *logger;
+}
+
+}  // namespace tkc::obs

@@ -1,0 +1,88 @@
+#ifndef TKC_OBS_LOG_H_
+#define TKC_OBS_LOG_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace tkc::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+const char* LogLevelName(LogLevel level);
+/// Accepts "error", "warn", "warning", "info", "debug" (case-insensitive).
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
+
+/// One key=value pair; values needing quoting (spaces, '=', quotes,
+/// control characters) are rendered as escaped double-quoted strings.
+struct LogField {
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(v) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, const std::string& v)
+      : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+  LogField(std::string k, double v);
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T> &&
+                                        !std::is_same_v<T, bool>>>
+  LogField(std::string k, T v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+
+  std::string key;
+  std::string value;
+};
+
+/// Leveled key=value logger writing single lines of the form
+///   level=info event=decompose.done edges=42 path="a b.txt"
+/// to a caller-supplied stream (so tests capture output verbatim).
+/// Messages above the configured level are dropped before formatting.
+class Logger {
+ public:
+  explicit Logger(std::ostream* sink = nullptr,
+                  LogLevel level = LogLevel::kWarn)
+      : sink_(sink), level_(level) {}
+
+  void SetSink(std::ostream* sink) { sink_ = sink; }
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool ShouldLog(LogLevel level) const {
+    return sink_ != nullptr && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {});
+
+  void Error(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kError, event, fields);
+  }
+  void Warn(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kWarn, event, fields);
+  }
+  void Info(std::string_view event,
+            std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kInfo, event, fields);
+  }
+  void Debug(std::string_view event,
+             std::initializer_list<LogField> fields = {}) {
+    Log(LogLevel::kDebug, event, fields);
+  }
+
+  /// Process-wide logger (default: level warn, sink stderr).
+  static Logger& Global();
+
+ private:
+  std::ostream* sink_;
+  LogLevel level_;
+};
+
+}  // namespace tkc::obs
+
+#endif  // TKC_OBS_LOG_H_

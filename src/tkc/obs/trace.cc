@@ -1,0 +1,93 @@
+#include "tkc/obs/trace.h"
+
+#include "tkc/util/check.h"
+
+namespace tkc::obs {
+
+SpanNode* SpanNode::Child(std::string_view child_name) {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  auto child = std::make_unique<SpanNode>();
+  child->name = std::string(child_name);
+  child->parent = this;
+  children.push_back(std::move(child));
+  return children.back().get();
+}
+
+const SpanNode* SpanNode::FindChild(std::string_view child_name) const {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+void SpanNode::AddCounter(std::string_view key, uint64_t delta) {
+  for (auto& [k, v] : counters) {
+    if (k == key) {
+      v += delta;
+      return;
+    }
+  }
+  counters.emplace_back(std::string(key), delta);
+}
+
+JsonValue SpanNode::ToJson() const {
+  JsonValue out = JsonValue::Object();
+  out.Set("name", name).Set("calls", calls).Set("seconds", seconds);
+  if (!counters.empty()) {
+    JsonValue c = JsonValue::Object();
+    for (const auto& [k, v] : counters) c.Set(k, v);
+    out.Set("counters", std::move(c));
+  }
+  if (!children.empty()) {
+    JsonValue kids = JsonValue::Array();
+    for (const auto& child : children) kids.Push(child->ToJson());
+    out.Set("children", std::move(kids));
+  }
+  return out;
+}
+
+SpanNode* PhaseTracer::Enter(std::string_view name) {
+  if (!enabled_) return nullptr;
+  current_ = current_->Child(name);
+  return current_;
+}
+
+void PhaseTracer::Exit(SpanNode* node, double seconds) {
+  TKC_CHECK(node != nullptr);
+  // Spans close strictly LIFO; a mismatch means a ScopedSpan outlived a
+  // Reset or scopes interleaved.
+  TKC_CHECK(node == current_);
+  node->calls += 1;
+  node->seconds += seconds;
+  current_ = node->parent;
+}
+
+void PhaseTracer::AddCounter(std::string_view key, uint64_t delta) {
+  if (!enabled_) return;
+  current_->AddCounter(key, delta);
+}
+
+void PhaseTracer::Reset() {
+  root_.name = "root";
+  root_.calls = 0;
+  root_.seconds = 0.0;
+  root_.counters.clear();
+  root_.children.clear();
+  root_.parent = nullptr;
+  current_ = &root_;
+}
+
+JsonValue PhaseTracer::ToJson() const {
+  JsonValue out = JsonValue::Array();
+  for (const auto& child : root_.children) out.Push(child->ToJson());
+  return out;
+}
+
+PhaseTracer& PhaseTracer::Global() {
+  static PhaseTracer* tracer = new PhaseTracer();
+  return *tracer;
+}
+
+}  // namespace tkc::obs

@@ -1,0 +1,109 @@
+#ifndef TKC_OBS_TRACE_H_
+#define TKC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "tkc/obs/json.h"
+#include "tkc/util/timer.h"
+
+namespace tkc::obs {
+
+/// One node of the hierarchical phase tree. Repeated entries into the same
+/// phase under the same parent aggregate into one node (calls += 1,
+/// seconds += elapsed), so tight loops stay representable.
+struct SpanNode {
+  std::string name;
+  uint64_t calls = 0;
+  double seconds = 0.0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::unique_ptr<SpanNode>> children;
+  SpanNode* parent = nullptr;
+
+  /// Find-or-create the named child, preserving first-seen order.
+  SpanNode* Child(std::string_view child_name);
+  void AddCounter(std::string_view key, uint64_t delta);
+  const SpanNode* FindChild(std::string_view child_name) const;
+
+  /// {"name":..,"calls":..,"seconds":..,"counters":{..},"children":[..]}
+  /// (counters/children elided when empty).
+  JsonValue ToJson() const;
+};
+
+/// Scoped-phase tracer: TKC_SPAN("peel") opens a phase for the enclosing
+/// scope; nested spans build a tree. Single-threaded by design (the
+/// library's algorithms are single-threaded); when `enabled()` is false
+/// Enter returns nullptr and the per-span cost is one branch.
+class PhaseTracer {
+ public:
+  PhaseTracer() { Reset(); }
+
+  bool enabled() const { return enabled_; }
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+
+  /// Opens (or re-enters) the named child of the current span. Returns
+  /// nullptr when disabled; pass the result back to Exit.
+  SpanNode* Enter(std::string_view name);
+  /// Closes `node`, crediting `seconds` of wall time to it.
+  void Exit(SpanNode* node, double seconds);
+  /// Attaches `delta` to a named counter on the innermost open span (the
+  /// root when no span is open). No-op when disabled.
+  void AddCounter(std::string_view key, uint64_t delta);
+
+  const SpanNode& root() const { return root_; }
+  /// Drops the whole tree (open ScopedSpans from before a Reset must not
+  /// outlive it).
+  void Reset();
+
+  /// Array of the root's children — the top-level phases.
+  JsonValue ToJson() const;
+
+  /// Process-wide tracer targeted by the TKC_SPAN macros.
+  static PhaseTracer& Global();
+
+ private:
+  SpanNode root_;
+  SpanNode* current_ = nullptr;
+  bool enabled_ = true;
+};
+
+/// RAII span handle; prefer the TKC_SPAN macro which compiles out under
+/// TKC_DISABLE_TRACING.
+class ScopedSpan {
+ public:
+  ScopedSpan(PhaseTracer& tracer, std::string_view name)
+      : tracer_(tracer), node_(tracer.Enter(name)) {}
+  ~ScopedSpan() {
+    if (node_ != nullptr) tracer_.Exit(node_, timer_.Seconds());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  PhaseTracer& tracer_;
+  SpanNode* node_;
+  Timer timer_;
+};
+
+}  // namespace tkc::obs
+
+#if defined(TKC_DISABLE_TRACING)
+#define TKC_SPAN(name)
+#define TKC_SPAN_COUNTER(key, delta)
+#else
+#define TKC_SPAN_CONCAT_INNER(a, b) a##b
+#define TKC_SPAN_CONCAT(a, b) TKC_SPAN_CONCAT_INNER(a, b)
+/// Opens a phase span covering the rest of the enclosing scope.
+#define TKC_SPAN(name)                                      \
+  ::tkc::obs::ScopedSpan TKC_SPAN_CONCAT(tkc_span_, __LINE__)( \
+      ::tkc::obs::PhaseTracer::Global(), name)
+/// Adds `delta` to counter `key` on the innermost open span.
+#define TKC_SPAN_COUNTER(key, delta) \
+  ::tkc::obs::PhaseTracer::Global().AddCounter(key, delta)
+#endif
+
+#endif  // TKC_OBS_TRACE_H_

@@ -1,11 +1,14 @@
 #include "tkc/cli/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 #include "tkc/gen/generators.h"
 #include "tkc/io/edge_list.h"
+#include "tkc/obs/json.h"
 #include "tkc/util/random.h"
 
 namespace tkc {
@@ -63,6 +66,79 @@ TEST_F(CliTest, DecomposeStoreModeAgrees) {
   a = a.substr(0, a.rfind("# edges"));
   b = b.substr(0, b.rfind("# edges"));
   EXPECT_EQ(a, b);
+}
+
+TEST_F(CliTest, DecomposeMetricsOut) {
+  std::string metrics_path = TempPath("cli_metrics.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"decompose", edges_path_,
+                 "--metrics-out=" + metrics_path},
+                &out),
+            0);
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("schema")->Str(), "tkc.metrics.v1");
+  EXPECT_EQ(doc->Find("command")->Str(), "decompose");
+  EXPECT_EQ(doc->Find("exit_code")->Number(), 0.0);
+
+  // Triangle counters from the decomposition of Figure 2 (5 triangles).
+  const obs::JsonValue* counters = doc->FindPath("metrics.counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("triangle.triangles_found")->Number(), 5.0);
+  EXPECT_GT(counters->Find("core.peel.edges_peeled")->Number(), 0.0);
+  EXPECT_NE(counters->Find("core.peel.level.1"), nullptr);
+  EXPECT_NE(counters->Find("core.peel.level.2"), nullptr);
+
+  // The phase tree must contain decompose -> core.decompose with the
+  // support_count and peel phases.
+  const obs::JsonValue* trace = doc->Find("trace");
+  ASSERT_TRUE(trace != nullptr && trace->IsArray());
+  const obs::JsonValue* core = nullptr;
+  for (const obs::JsonValue& top : trace->Items()) {
+    for (const obs::JsonValue& child : top.Find("children")->Items()) {
+      if (child.Find("name")->Str() == "core.decompose") core = &child;
+    }
+  }
+  ASSERT_NE(core, nullptr);
+  std::vector<std::string> phases;
+  for (const obs::JsonValue& child : core->Find("children")->Items()) {
+    phases.push_back(child.Find("name")->Str());
+  }
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "support_count"),
+            phases.end());
+  EXPECT_NE(std::find(phases.begin(), phases.end(), "peel"), phases.end());
+}
+
+TEST_F(CliTest, LogLevelFlag) {
+  std::string out, err;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--log-level=info"}, &out,
+                &err),
+            0);
+  EXPECT_NE(err.find("level=info event=graph.loaded"), std::string::npos);
+
+  err.clear();
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--log-level=error"}, &out,
+                &err),
+            0);
+  EXPECT_EQ(err.find("graph.loaded"), std::string::npos);
+
+  EXPECT_EQ(RunTool({"decompose", edges_path_, "--log-level=loud"}, &out,
+                &err),
+            2);
+}
+
+TEST_F(CliTest, UnknownFlagRejected) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"decompose", edges_path_, "--bogus=1"}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown flag '--bogus'"), std::string::npos);
+  EXPECT_NE(err.find("usage:"), std::string::npos);
+  // Global flags stay accepted everywhere.
+  EXPECT_EQ(RunTool({"kcore", edges_path_, "--log-level=error"}, &out, &err),
+            0);
 }
 
 TEST_F(CliTest, MissingFileFails) {

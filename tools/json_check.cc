@@ -1,0 +1,59 @@
+// Validates that a file parses as JSON under the repo's strict reader
+// (src/tkc/obs/json.h), optionally requiring top-level keys:
+//
+//   json_check FILE [--require=key ...]
+//
+// Exit 0 on success, 1 on parse failure or a missing key, 2 on usage /
+// unreadable file. Used by the ctest bench-smoke entry to prove every
+// --json-out / --metrics-out artifact is machine-readable.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tkc/obs/json.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      required.emplace_back(argv[i] + 10);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: %s FILE [--require=key ...]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: %s FILE [--require=key ...]\n", argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "json_check: cannot read %s\n", path);
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto doc = tkc::obs::JsonValue::Parse(buf.str());
+  if (!doc.has_value()) {
+    std::fprintf(stderr, "json_check: %s is not valid JSON\n", path);
+    return 1;
+  }
+  for (const std::string& key : required) {
+    if (doc->FindPath(key) == nullptr) {
+      std::fprintf(stderr, "json_check: %s lacks required key %s\n", path,
+                   key.c_str());
+      return 1;
+    }
+  }
+  std::printf("json_check: %s ok (%zu bytes)\n", path, buf.str().size());
+  return 0;
+}
