@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_claim3_convergence.dir/bench_claim3_convergence.cc.o"
+  "CMakeFiles/bench_claim3_convergence.dir/bench_claim3_convergence.cc.o.d"
+  "bench_claim3_convergence"
+  "bench_claim3_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_claim3_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_bridge.dir/bench_fig10_bridge.cc.o"
+  "CMakeFiles/bench_fig10_bridge.dir/bench_fig10_bridge.cc.o.d"
+  "bench_fig10_bridge"
+  "bench_fig10_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_newjoin.dir/bench_fig11_newjoin.cc.o"
+  "CMakeFiles/bench_fig11_newjoin.dir/bench_fig11_newjoin.cc.o.d"
+  "bench_fig11_newjoin"
+  "bench_fig11_newjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_newjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

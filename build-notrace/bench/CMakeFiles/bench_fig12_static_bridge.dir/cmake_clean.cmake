@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_static_bridge.dir/bench_fig12_static_bridge.cc.o"
+  "CMakeFiles/bench_fig12_static_bridge.dir/bench_fig12_static_bridge.cc.o.d"
+  "bench_fig12_static_bridge"
+  "bench_fig12_static_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_static_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

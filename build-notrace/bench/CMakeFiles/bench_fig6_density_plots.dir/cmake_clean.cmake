@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_density_plots.dir/bench_fig6_density_plots.cc.o"
+  "CMakeFiles/bench_fig6_density_plots.dir/bench_fig6_density_plots.cc.o.d"
+  "bench_fig6_density_plots"
+  "bench_fig6_density_plots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_density_plots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_dualview.dir/bench_fig8_dualview.cc.o"
+  "CMakeFiles/bench_fig8_dualview.dir/bench_fig8_dualview.cc.o.d"
+  "bench_fig8_dualview"
+  "bench_fig8_dualview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dualview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_newform.dir/bench_fig9_newform.cc.o"
+  "CMakeFiles/bench_fig9_newform.dir/bench_fig9_newform.cc.o.d"
+  "bench_fig9_newform"
+  "bench_fig9_newform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_newform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

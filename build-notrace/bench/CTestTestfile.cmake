@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-notrace/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_json_smoke "/usr/bin/cmake" "-DBENCH=/root/repo/build-notrace/bench/bench_fig7_ppi_cliques" "-DJSON_CHECK=/root/repo/build-notrace/tools/json_check" "-DOUT=/root/repo/build-notrace/bench/bench_smoke.json" "-P" "/root/repo/bench/bench_json_smoke.cmake")
+set_tests_properties(bench_json_smoke PROPERTIES  WORKING_DIRECTORY "/root/repo/build-notrace/bench" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;26;add_test;/root/repo/bench/CMakeLists.txt;0;")

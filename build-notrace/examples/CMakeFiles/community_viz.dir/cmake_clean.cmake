@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_viz.dir/community_viz.cpp.o"
+  "CMakeFiles/community_viz.dir/community_viz.cpp.o.d"
+  "community_viz"
+  "community_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

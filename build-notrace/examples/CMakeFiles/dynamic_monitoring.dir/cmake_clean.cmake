@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_monitoring.dir/dynamic_monitoring.cpp.o"
+  "CMakeFiles/dynamic_monitoring.dir/dynamic_monitoring.cpp.o.d"
+  "dynamic_monitoring"
+  "dynamic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_replay.dir/stream_replay.cpp.o"
+  "CMakeFiles/stream_replay.dir/stream_replay.cpp.o.d"
+  "stream_replay"
+  "stream_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

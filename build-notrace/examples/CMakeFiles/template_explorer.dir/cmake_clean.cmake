@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_explorer.dir/template_explorer.cpp.o"
+  "CMakeFiles/template_explorer.dir/template_explorer.cpp.o.d"
+  "template_explorer"
+  "template_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

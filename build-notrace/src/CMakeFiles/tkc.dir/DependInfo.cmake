@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tkc/baselines/csv.cc" "src/CMakeFiles/tkc.dir/tkc/baselines/csv.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/baselines/csv.cc.o.d"
+  "/root/repo/src/tkc/baselines/dn_graph.cc" "src/CMakeFiles/tkc.dir/tkc/baselines/dn_graph.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/baselines/dn_graph.cc.o.d"
+  "/root/repo/src/tkc/baselines/naive.cc" "src/CMakeFiles/tkc.dir/tkc/baselines/naive.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/baselines/naive.cc.o.d"
+  "/root/repo/src/tkc/cli/cli.cc" "src/CMakeFiles/tkc.dir/tkc/cli/cli.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/cli/cli.cc.o.d"
+  "/root/repo/src/tkc/core/clique_probe.cc" "src/CMakeFiles/tkc.dir/tkc/core/clique_probe.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/clique_probe.cc.o.d"
+  "/root/repo/src/tkc/core/core_extraction.cc" "src/CMakeFiles/tkc.dir/tkc/core/core_extraction.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/core_extraction.cc.o.d"
+  "/root/repo/src/tkc/core/dynamic_core.cc" "src/CMakeFiles/tkc.dir/tkc/core/dynamic_core.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/dynamic_core.cc.o.d"
+  "/root/repo/src/tkc/core/hierarchy.cc" "src/CMakeFiles/tkc.dir/tkc/core/hierarchy.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/hierarchy.cc.o.d"
+  "/root/repo/src/tkc/core/ordered_core.cc" "src/CMakeFiles/tkc.dir/tkc/core/ordered_core.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/ordered_core.cc.o.d"
+  "/root/repo/src/tkc/core/triangle_core.cc" "src/CMakeFiles/tkc.dir/tkc/core/triangle_core.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/core/triangle_core.cc.o.d"
+  "/root/repo/src/tkc/gen/datasets.cc" "src/CMakeFiles/tkc.dir/tkc/gen/datasets.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/gen/datasets.cc.o.d"
+  "/root/repo/src/tkc/gen/dynamic_gen.cc" "src/CMakeFiles/tkc.dir/tkc/gen/dynamic_gen.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/gen/dynamic_gen.cc.o.d"
+  "/root/repo/src/tkc/gen/generators.cc" "src/CMakeFiles/tkc.dir/tkc/gen/generators.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/gen/generators.cc.o.d"
+  "/root/repo/src/tkc/graph/connectivity.cc" "src/CMakeFiles/tkc.dir/tkc/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/connectivity.cc.o.d"
+  "/root/repo/src/tkc/graph/csr.cc" "src/CMakeFiles/tkc.dir/tkc/graph/csr.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/csr.cc.o.d"
+  "/root/repo/src/tkc/graph/graph.cc" "src/CMakeFiles/tkc.dir/tkc/graph/graph.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/graph.cc.o.d"
+  "/root/repo/src/tkc/graph/kcore.cc" "src/CMakeFiles/tkc.dir/tkc/graph/kcore.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/kcore.cc.o.d"
+  "/root/repo/src/tkc/graph/stats.cc" "src/CMakeFiles/tkc.dir/tkc/graph/stats.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/stats.cc.o.d"
+  "/root/repo/src/tkc/graph/triangle.cc" "src/CMakeFiles/tkc.dir/tkc/graph/triangle.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/graph/triangle.cc.o.d"
+  "/root/repo/src/tkc/io/edge_list.cc" "src/CMakeFiles/tkc.dir/tkc/io/edge_list.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/io/edge_list.cc.o.d"
+  "/root/repo/src/tkc/io/result_io.cc" "src/CMakeFiles/tkc.dir/tkc/io/result_io.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/io/result_io.cc.o.d"
+  "/root/repo/src/tkc/io/snapshots.cc" "src/CMakeFiles/tkc.dir/tkc/io/snapshots.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/io/snapshots.cc.o.d"
+  "/root/repo/src/tkc/obs/json.cc" "src/CMakeFiles/tkc.dir/tkc/obs/json.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/obs/json.cc.o.d"
+  "/root/repo/src/tkc/obs/log.cc" "src/CMakeFiles/tkc.dir/tkc/obs/log.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/obs/log.cc.o.d"
+  "/root/repo/src/tkc/obs/metrics.cc" "src/CMakeFiles/tkc.dir/tkc/obs/metrics.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/obs/metrics.cc.o.d"
+  "/root/repo/src/tkc/obs/trace.cc" "src/CMakeFiles/tkc.dir/tkc/obs/trace.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/obs/trace.cc.o.d"
+  "/root/repo/src/tkc/patterns/events.cc" "src/CMakeFiles/tkc.dir/tkc/patterns/events.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/patterns/events.cc.o.d"
+  "/root/repo/src/tkc/patterns/patterns.cc" "src/CMakeFiles/tkc.dir/tkc/patterns/patterns.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/patterns/patterns.cc.o.d"
+  "/root/repo/src/tkc/patterns/template_clique.cc" "src/CMakeFiles/tkc.dir/tkc/patterns/template_clique.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/patterns/template_clique.cc.o.d"
+  "/root/repo/src/tkc/util/random.cc" "src/CMakeFiles/tkc.dir/tkc/util/random.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/util/random.cc.o.d"
+  "/root/repo/src/tkc/util/timer.cc" "src/CMakeFiles/tkc.dir/tkc/util/timer.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/util/timer.cc.o.d"
+  "/root/repo/src/tkc/viz/ascii_chart.cc" "src/CMakeFiles/tkc.dir/tkc/viz/ascii_chart.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/viz/ascii_chart.cc.o.d"
+  "/root/repo/src/tkc/viz/density_plot.cc" "src/CMakeFiles/tkc.dir/tkc/viz/density_plot.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/viz/density_plot.cc.o.d"
+  "/root/repo/src/tkc/viz/dual_view.cc" "src/CMakeFiles/tkc.dir/tkc/viz/dual_view.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/viz/dual_view.cc.o.d"
+  "/root/repo/src/tkc/viz/graph_draw.cc" "src/CMakeFiles/tkc.dir/tkc/viz/graph_draw.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/viz/graph_draw.cc.o.d"
+  "/root/repo/src/tkc/viz/svg.cc" "src/CMakeFiles/tkc.dir/tkc/viz/svg.cc.o" "gcc" "src/CMakeFiles/tkc.dir/tkc/viz/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

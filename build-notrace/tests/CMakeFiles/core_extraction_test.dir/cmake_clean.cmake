@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extraction_test.dir/core_extraction_test.cc.o"
+  "CMakeFiles/core_extraction_test.dir/core_extraction_test.cc.o.d"
+  "core_extraction_test"
+  "core_extraction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_plot_test.dir/density_plot_test.cc.o"
+  "CMakeFiles/density_plot_test.dir/density_plot_test.cc.o.d"
+  "density_plot_test"
+  "density_plot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dn_graph_test.dir/dn_graph_test.cc.o"
+  "CMakeFiles/dn_graph_test.dir/dn_graph_test.cc.o.d"
+  "dn_graph_test"
+  "dn_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dn_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_view_test.dir/dual_view_test.cc.o"
+  "CMakeFiles/dual_view_test.dir/dual_view_test.cc.o.d"
+  "dual_view_test"
+  "dual_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

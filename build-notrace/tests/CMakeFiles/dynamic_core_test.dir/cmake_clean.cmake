@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_core_test.dir/dynamic_core_test.cc.o"
+  "CMakeFiles/dynamic_core_test.dir/dynamic_core_test.cc.o.d"
+  "dynamic_core_test"
+  "dynamic_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

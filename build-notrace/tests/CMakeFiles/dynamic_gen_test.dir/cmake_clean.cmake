@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_gen_test.dir/dynamic_gen_test.cc.o"
+  "CMakeFiles/dynamic_gen_test.dir/dynamic_gen_test.cc.o.d"
+  "dynamic_gen_test"
+  "dynamic_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/known_families_test.dir/known_families_test.cc.o"
+  "CMakeFiles/known_families_test.dir/known_families_test.cc.o.d"
+  "known_families_test"
+  "known_families_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/known_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

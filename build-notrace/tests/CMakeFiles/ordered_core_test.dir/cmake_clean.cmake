@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ordered_core_test.dir/ordered_core_test.cc.o"
+  "CMakeFiles/ordered_core_test.dir/ordered_core_test.cc.o.d"
+  "ordered_core_test"
+  "ordered_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ordered_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

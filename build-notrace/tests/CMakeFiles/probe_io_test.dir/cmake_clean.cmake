@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_io_test.dir/probe_io_test.cc.o"
+  "CMakeFiles/probe_io_test.dir/probe_io_test.cc.o.d"
+  "probe_io_test"
+  "probe_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

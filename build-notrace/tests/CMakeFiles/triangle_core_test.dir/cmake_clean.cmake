@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_core_test.dir/triangle_core_test.cc.o"
+  "CMakeFiles/triangle_core_test.dir/triangle_core_test.cc.o.d"
+  "triangle_core_test"
+  "triangle_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

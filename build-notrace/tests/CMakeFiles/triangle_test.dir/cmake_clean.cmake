@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triangle_test.dir/triangle_test.cc.o"
+  "CMakeFiles/triangle_test.dir/triangle_test.cc.o.d"
+  "triangle_test"
+  "triangle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triangle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

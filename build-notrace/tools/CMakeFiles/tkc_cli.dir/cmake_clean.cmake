@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tkc_cli.dir/tkc_main.cc.o"
+  "CMakeFiles/tkc_cli.dir/tkc_main.cc.o.d"
+  "tkc"
+  "tkc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tkc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
