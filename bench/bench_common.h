@@ -16,6 +16,7 @@
 #include "tkc/obs/json.h"
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
+#include "tkc/util/parallel.h"
 #include "tkc/util/timer.h"
 
 namespace tkc::bench {
@@ -25,16 +26,19 @@ namespace tkc::bench {
 ///   --quick            shorthand for --size-factor=0.05 (smoke run)
 ///   --seed=<n>         base RNG seed (default 2012, the paper's year)
 ///   --json-out=<file>  also write a machine-readable result artifact
+///   --threads=<n>      workers for the parallel kernels (0 = hardware
+///                      default, 1 = serial; results are identical)
 struct BenchConfig {
   double size_factor = 1.0;
   uint64_t seed = 2012;
   std::string json_out;
+  int threads = 0;
 };
 
 inline void PrintBenchUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--size-factor=F] [--quick] [--seed=N] "
-               "[--json-out=FILE]\n",
+               "[--json-out=FILE] [--threads=N]\n",
                argv0);
 }
 
@@ -52,6 +56,12 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       cfg.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
       cfg.json_out = arg + 11;
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      cfg.threads = std::atoi(arg + 10);
+      if (cfg.threads < 0) {
+        std::fprintf(stderr, "--threads must be >= 0\n");
+        std::exit(2);
+      }
     } else if (std::strcmp(arg, "--help") == 0) {
       PrintBenchUsage(argv[0]);
       std::exit(0);
@@ -61,6 +71,7 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       std::exit(2);
     }
   }
+  SetDefaultThreads(cfg.threads == 0 ? HardwareThreads() : cfg.threads);
   return cfg;
 }
 
@@ -131,6 +142,10 @@ class BenchReporter {
         rows_(obs::JsonValue::Array()), notes_(obs::JsonValue::Object()) {
     obs::MetricsRegistry::Global().Reset();
     obs::PhaseTracer::Global().Reset();
+    // The reset wiped the gauge ParseArgs set; restore it so the artifact
+    // records the worker count the run actually used.
+    obs::MetricsRegistry::Global().GetGauge("tkc.threads")
+        .Set(DefaultThreads());
   }
 
   /// Appends one result row (typically one per dataset/table line).
@@ -150,6 +165,7 @@ class BenchReporter {
         .Set("bench", bench_name_)
         .Set("size_factor", cfg_.size_factor)
         .Set("seed", cfg_.seed)
+        .Set("threads", static_cast<int64_t>(DefaultThreads()))
         .Set("total_seconds", total_.Seconds())
         .Set("exit_code", code);
     for (auto& [key, value] : notes_.Members()) {

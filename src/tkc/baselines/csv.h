@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 
 namespace tkc {
@@ -34,6 +35,10 @@ struct CsvResult {
 /// the paper leans on: CSV computes (nearly) exact clique sizes but pays a
 /// per-edge search that dwarfs the single peel of Algorithm 1.
 CsvResult ComputeCsv(const Graph& g, const CsvOptions& options = {});
+
+/// Same estimator over the frozen CSR read path; output is identical
+/// (EdgeIds are shared between the representations).
+CsvResult ComputeCsv(const CsrGraph& g, const CsvOptions& options = {});
 
 }  // namespace tkc
 

@@ -1,11 +1,14 @@
 #include "tkc/baselines/dn_graph.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "tkc/core/analysis_context.h"
 #include "tkc/core/core_extraction.h"
 #include "tkc/graph/triangle.h"
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
+#include "tkc/util/parallel.h"
 
 namespace tkc {
 
@@ -13,7 +16,8 @@ namespace {
 
 // Largest k <= cap such that at least k of e's triangles have partner-min
 // >= k (the Definition 5 support test applied at every level at once).
-uint32_t SupportedLevel(const Graph& g, const std::vector<uint32_t>& lambda,
+template <typename GraphT>
+uint32_t SupportedLevel(const GraphT& g, const std::vector<uint32_t>& lambda,
                         EdgeId e, uint32_t cap) {
   if (cap == 0) return 0;
   std::vector<uint32_t> hist(cap + 1, 0);
@@ -29,30 +33,44 @@ uint32_t SupportedLevel(const Graph& g, const std::vector<uint32_t>& lambda,
   return 0;
 }
 
-template <typename Refine>
-DnGraphResult IterateToFixpoint(const Graph& g, const char* span_name,
-                                uint32_t max_iterations, Refine&& refine) {
+// Each synchronous pass reads only the previous iteration's λ̃ values, so
+// refine calls are independent and the live-edge sweep can be statically
+// partitioned across workers without changing any result.
+template <typename GraphT, typename Refine>
+DnGraphResult IterateToFixpoint(const GraphT& g, const char* span_name,
+                                uint32_t max_iterations,
+                                std::vector<uint32_t> initial_lambda,
+                                int threads, Refine&& refine) {
   TKC_SPAN(span_name);
   DnGraphResult result;
-  result.lambda = ComputeEdgeSupports(g);
+  result.lambda = std::move(initial_lambda);
   const std::vector<EdgeId> live = g.EdgeIds();
+  threads = ResolveThreads(threads);
   for (;;) {
     if (max_iterations != 0 && result.iterations >= max_iterations) break;
     ++result.iterations;
-    bool changed = false;
     // Synchronous pass: all updates read the previous iteration's values.
     TKC_SPAN("pass");
     std::vector<uint32_t> next = result.lambda;
-    for (EdgeId e : live) {
-      ++result.edge_updates;
-      uint32_t updated = refine(result.lambda, e);
-      if (updated != result.lambda[e]) {
-        next[e] = updated;
-        changed = true;
-      }
-    }
+    result.edge_updates += live.size();
+    std::atomic<bool> changed{false};
+    ParallelFor(threads, live.size(),
+                [&](int, size_t begin, size_t end) {
+                  bool local_changed = false;
+                  for (size_t i = begin; i < end; ++i) {
+                    EdgeId e = live[i];
+                    uint32_t updated = refine(result.lambda, e);
+                    if (updated != result.lambda[e]) {
+                      next[e] = updated;
+                      local_changed = true;
+                    }
+                  }
+                  if (local_changed) {
+                    changed.store(true, std::memory_order_relaxed);
+                  }
+                });
     result.lambda.swap(next);
-    if (!changed) break;
+    if (!changed.load(std::memory_order_relaxed)) break;
   }
   TKC_SPAN_COUNTER("iterations", result.iterations);
   TKC_SPAN_COUNTER("edge_updates", result.edge_updates);
@@ -62,11 +80,11 @@ DnGraphResult IterateToFixpoint(const Graph& g, const char* span_name,
   return result;
 }
 
-}  // namespace
-
-DnGraphResult TriDn(const Graph& g, uint32_t max_iterations) {
+template <typename GraphT>
+DnGraphResult TriDnImpl(const GraphT& g, uint32_t max_iterations,
+                        std::vector<uint32_t> initial_lambda, int threads) {
   return IterateToFixpoint(
-      g, "baseline.tridn", max_iterations,
+      g, "baseline.tridn", max_iterations, std::move(initial_lambda), threads,
       [&g](const std::vector<uint32_t>& lambda, EdgeId e) -> uint32_t {
         uint32_t current = lambda[e];
         if (current == 0) return 0;
@@ -80,19 +98,43 @@ DnGraphResult TriDn(const Graph& g, uint32_t max_iterations) {
       });
 }
 
-DnGraphResult BiTriDn(const Graph& g, uint32_t max_iterations) {
+template <typename GraphT>
+DnGraphResult BiTriDnImpl(const GraphT& g, uint32_t max_iterations,
+                          std::vector<uint32_t> initial_lambda, int threads) {
   return IterateToFixpoint(
-      g, "baseline.bitridn", max_iterations,
+      g, "baseline.bitridn", max_iterations, std::move(initial_lambda),
+      threads,
       [&g](const std::vector<uint32_t>& lambda, EdgeId e) -> uint32_t {
         return SupportedLevel(g, lambda, e, lambda[e]);
       });
+}
+
+}  // namespace
+
+DnGraphResult TriDn(const Graph& g, uint32_t max_iterations) {
+  return TriDnImpl(g, max_iterations, ComputeEdgeSupports(g), /*threads=*/1);
+}
+
+DnGraphResult TriDn(const AnalysisContext& ctx, uint32_t max_iterations) {
+  return TriDnImpl(ctx.csr(), max_iterations, ctx.Supports(), ctx.threads());
+}
+
+DnGraphResult BiTriDn(const Graph& g, uint32_t max_iterations) {
+  return BiTriDnImpl(g, max_iterations, ComputeEdgeSupports(g),
+                     /*threads=*/1);
+}
+
+DnGraphResult BiTriDn(const AnalysisContext& ctx, uint32_t max_iterations) {
+  return BiTriDnImpl(ctx.csr(), max_iterations, ctx.Supports(),
+                     ctx.threads());
 }
 
 namespace {
 
 // Requirement (1) of the DN-Graph definition restricted to `members`:
 // every connected pair inside shares >= lambda neighbors inside.
-bool SatisfiesDensity(const Graph& g, const std::vector<bool>& inside,
+template <typename GraphT>
+bool SatisfiesDensity(const GraphT& g, const std::vector<bool>& inside,
                       const std::vector<VertexId>& members,
                       uint32_t lambda) {
   for (VertexId u : members) {
@@ -109,10 +151,9 @@ bool SatisfiesDensity(const Graph& g, const std::vector<bool>& inside,
   return true;
 }
 
-}  // namespace
-
-std::vector<DnGraphCandidate> ExtractDnGraphs(
-    const Graph& g, const std::vector<uint32_t>& lambda,
+template <typename GraphT>
+std::vector<DnGraphCandidate> ExtractDnGraphsImpl(
+    const GraphT& g, const std::vector<uint32_t>& lambda,
     uint32_t min_lambda) {
   std::vector<DnGraphCandidate> candidates;
   std::vector<bool> inside(g.NumVertices(), false);
@@ -169,15 +210,42 @@ std::vector<DnGraphCandidate> ExtractDnGraphs(
   return candidates;
 }
 
-std::vector<bool> DnGraphCoverage(const Graph& g,
-                                  const std::vector<uint32_t>& lambda,
-                                  uint32_t min_lambda) {
+template <typename GraphT>
+std::vector<bool> DnGraphCoverageImpl(const GraphT& g,
+                                      const std::vector<uint32_t>& lambda,
+                                      uint32_t min_lambda) {
   std::vector<bool> covered(g.NumVertices(), false);
   for (const DnGraphCandidate& cand :
-       ExtractDnGraphs(g, lambda, min_lambda)) {
+       ExtractDnGraphsImpl(g, lambda, min_lambda)) {
     for (VertexId v : cand.vertices) covered[v] = true;
   }
   return covered;
+}
+
+}  // namespace
+
+std::vector<DnGraphCandidate> ExtractDnGraphs(
+    const Graph& g, const std::vector<uint32_t>& lambda,
+    uint32_t min_lambda) {
+  return ExtractDnGraphsImpl(g, lambda, min_lambda);
+}
+
+std::vector<DnGraphCandidate> ExtractDnGraphs(
+    const CsrGraph& g, const std::vector<uint32_t>& lambda,
+    uint32_t min_lambda) {
+  return ExtractDnGraphsImpl(g, lambda, min_lambda);
+}
+
+std::vector<bool> DnGraphCoverage(const Graph& g,
+                                  const std::vector<uint32_t>& lambda,
+                                  uint32_t min_lambda) {
+  return DnGraphCoverageImpl(g, lambda, min_lambda);
+}
+
+std::vector<bool> DnGraphCoverage(const CsrGraph& g,
+                                  const std::vector<uint32_t>& lambda,
+                                  uint32_t min_lambda) {
+  return DnGraphCoverageImpl(g, lambda, min_lambda);
 }
 
 }  // namespace tkc

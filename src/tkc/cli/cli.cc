@@ -8,6 +8,7 @@
 #include <sstream>
 #include <vector>
 
+#include "tkc/core/analysis_context.h"
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/hierarchy.h"
 #include "tkc/core/triangle_core.h"
@@ -20,6 +21,7 @@
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
 #include "tkc/patterns/patterns.h"
+#include "tkc/util/parallel.h"
 #include "tkc/util/random.h"
 #include "tkc/util/timer.h"
 #include "tkc/viz/ascii_chart.h"
@@ -89,7 +91,8 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
                                  ? TriangleStorageMode::kStoreTriangles
                                  : TriangleStorageMode::kRecomputeTriangles;
   Timer t;
-  TriangleCoreResult r = ComputeTriangleCores(*g, mode);
+  AnalysisContext ctx(*g);
+  TriangleCoreResult r = ComputeTriangleCores(ctx, mode);
   double seconds = t.Seconds();
   obs::Logger::Global().Info("decompose.done",
                              {{"edges", g->NumEdges()},
@@ -97,7 +100,7 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
                               {"max_kappa", r.max_kappa},
                               {"seconds", seconds}});
   out << "# u v kappa co_clique_size\n";
-  g->ForEachEdge([&](EdgeId e, const Edge& edge) {
+  ctx.csr().ForEachEdge([&](EdgeId e, const Edge& edge) {
     out << edge.u << ' ' << edge.v << ' ' << r.kappa[e] << ' '
         << r.CocliqueSize(e) << '\n';
   });
@@ -109,7 +112,8 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
 int CmdKCore(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto g = LoadGraph(args.positional[1], err);
   if (!g) return 2;
-  KCoreResult r = ComputeKCores(*g);
+  CsrGraph csr(*g);
+  KCoreResult r = ComputeKCores(csr);
   out << "# v core\n";
   for (VertexId v = 0; v < g->NumVertices(); ++v) {
     out << v << ' ' << r.core_of[v] << '\n';
@@ -121,7 +125,7 @@ int CmdKCore(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto g = LoadGraph(args.positional[1], err);
   if (!g) return 2;
-  GraphStats s = ComputeGraphStats(*g);
+  GraphStats s = ComputeGraphStats(CsrGraph(*g));
   out << "vertices:               " << s.num_vertices << '\n'
       << "edges:                  " << s.num_edges << '\n'
       << "triangles:              " << s.num_triangles << '\n'
@@ -137,10 +141,11 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdPlot(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto g = LoadGraph(args.positional[1], err);
   if (!g) return 2;
-  TriangleCoreResult r = ComputeTriangleCores(*g);
-  std::vector<uint32_t> co(g->EdgeCapacity(), 0);
-  g->ForEachEdge([&](EdgeId e, const Edge&) { co[e] = r.kappa[e] + 2; });
-  DensityPlot plot = BuildDensityPlot(*g, co);
+  AnalysisContext ctx(*g);
+  TriangleCoreResult r = ComputeTriangleCores(ctx);
+  std::vector<uint32_t> co(ctx.csr().EdgeCapacity(), 0);
+  ctx.csr().ForEachEdge([&](EdgeId e, const Edge&) { co[e] = r.kappa[e] + 2; });
+  DensityPlot plot = BuildDensityPlot(ctx.csr(), co);
   AsciiChartOptions opt;
   opt.width = static_cast<size_t>(args.FlagInt("width", 100));
   opt.height = static_cast<size_t>(args.FlagInt("height", 16));
@@ -162,8 +167,9 @@ int CmdHierarchy(const ParsedArgs& args, std::ostream& out,
                  std::ostream& err) {
   auto g = LoadGraph(args.positional[1], err);
   if (!g) return 2;
-  TriangleCoreResult r = ComputeTriangleCores(*g);
-  CoreHierarchy h = BuildCoreHierarchy(*g, r);
+  AnalysisContext ctx(*g);
+  TriangleCoreResult r = ComputeTriangleCores(ctx);
+  CoreHierarchy h = BuildCoreHierarchy(ctx.csr(), r);
   out << HierarchyToString(
       h, static_cast<size_t>(args.FlagInt("max-nodes", 64)));
   out << "# nodes=" << h.nodes.size() << " roots=" << h.roots.size() << '\n';
@@ -321,7 +327,11 @@ void PrintUsage(std::ostream& err) {
          "global flags (any command):\n"
          "  --log-level=error|warn|info|debug   structured logs on stderr\n"
          "  --metrics-out=FILE                  write metrics + phase-trace "
-         "JSON\n";
+         "JSON\n"
+         "  --threads=N                         worker threads for the "
+         "parallel kernels\n"
+         "                                      (0 = all hardware threads; "
+         "1 = serial)\n";
 }
 
 }  // namespace
@@ -346,7 +356,9 @@ bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
   auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return true;  // unknown command: handled later
   for (const auto& [key, value] : parsed.flags) {
-    if (key == "log-level" || key == "metrics-out") continue;
+    if (key == "log-level" || key == "metrics-out" || key == "threads") {
+      continue;
+    }
     if (std::find(it->second.begin(), it->second.end(), key) ==
         it->second.end()) {
       err << "error: unknown flag '--" << key << "' for '" << cmd << "'\n";
@@ -410,6 +422,16 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   // describes exactly this command.
   obs::MetricsRegistry::Global().Reset();
   obs::PhaseTracer::Global().Reset();
+
+  // Worker count for the parallel kernels; set after the registry reset so
+  // the tkc.threads gauge survives into the dump. 0 = hardware default.
+  const int64_t threads_flag = parsed.FlagInt("threads", 0);
+  if (threads_flag < 0) {
+    err << "error: --threads must be >= 0\n";
+    return 2;
+  }
+  SetDefaultThreads(threads_flag == 0 ? HardwareThreads()
+                                      : static_cast<int>(threads_flag));
 
   const std::string& cmd = parsed.positional[0];
   int code;

@@ -1,0 +1,64 @@
+#include "tkc/core/analysis_context.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
+#include "tkc/util/parallel.h"
+
+namespace tkc {
+
+AnalysisContext::AnalysisContext(const Graph& g, int threads)
+    : csr_(g), threads_(ResolveThreads(threads)) {}
+
+AnalysisContext::AnalysisContext(CsrGraph csr, int threads)
+    : csr_(std::move(csr)), threads_(ResolveThreads(threads)) {}
+
+const std::vector<uint32_t>& AnalysisContext::Supports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!supports_.has_value()) {
+    TKC_SPAN("support_count");
+    obs::MetricsRegistry::Global()
+        .GetCounter("analysis.support_computations")
+        .Add(1);
+    supports_ = ComputeEdgeSupports(csr_, threads_);
+    uint64_t total = 0;
+    uint32_t max_support = 0;
+    for (uint32_t s : *supports_) {
+      total += s;
+      max_support = std::max(max_support, s);
+    }
+    triangle_count_ = total / 3;
+    max_support_ = max_support;
+  }
+  return *supports_;
+}
+
+const std::vector<Triangle>& AnalysisContext::Triangles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!triangles_.has_value()) {
+    TKC_SPAN("triangle_materialize");
+    obs::MetricsRegistry::Global()
+        .GetCounter("analysis.triangle_materializations")
+        .Add(1);
+    triangles_.emplace();
+    ForEachTriangle(csr_,
+                    [&](const Triangle& t) { triangles_->push_back(t); });
+  }
+  return *triangles_;
+}
+
+uint64_t AnalysisContext::TriangleCount() const {
+  Supports();
+  std::lock_guard<std::mutex> lock(mu_);
+  return triangle_count_;
+}
+
+uint32_t AnalysisContext::MaxSupport() const {
+  Supports();
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_support_;
+}
+
+}  // namespace tkc

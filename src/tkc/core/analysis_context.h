@@ -1,0 +1,68 @@
+#ifndef TKC_CORE_ANALYSIS_CONTEXT_H_
+#define TKC_CORE_ANALYSIS_CONTEXT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "tkc/graph/csr.h"
+#include "tkc/graph/graph.h"
+#include "tkc/graph/triangle.h"
+
+namespace tkc {
+
+/// The unified read path for every static analysis: a frozen CsrGraph
+/// snapshot plus the derived data the algorithms share — the per-edge
+/// triangle-support array and (on demand) the materialized triangle list.
+/// Both are computed lazily, at most once per context, by the parallel
+/// support kernel; the `analysis.support_computations` /
+/// `analysis.triangle_materializations` counters make "computed once"
+/// checkable in tests.
+///
+/// EdgeIds are inherited from the source Graph unchanged, so κ/order/support
+/// arrays produced against a context are interchangeable with the dynamic
+/// Graph overloads' output.
+///
+/// Thread-safe for concurrent readers (lazy initialization is locked); the
+/// snapshot itself is immutable.
+class AnalysisContext {
+ public:
+  /// Freezes `g`. `threads` follows the ResolveThreads convention
+  /// (0 = process default from SetDefaultThreads/--threads, 1 = serial);
+  /// every derived result is identical for every thread count.
+  explicit AnalysisContext(const Graph& g, int threads = 0);
+
+  /// Adopts an existing snapshot.
+  explicit AnalysisContext(CsrGraph csr, int threads = 0);
+
+  const CsrGraph& csr() const { return csr_; }
+  int threads() const { return threads_; }
+
+  /// Per-edge triangle supports, indexed by EdgeId (dead ids hold 0).
+  /// Computed on first use by the shared parallel kernel, then cached.
+  const std::vector<uint32_t>& Supports() const;
+
+  /// All triangles, in ForEachTriangle order. Materialized on first use.
+  const std::vector<Triangle>& Triangles() const;
+
+  /// Total triangle count (= sum of supports / 3); forces Supports().
+  uint64_t TriangleCount() const;
+
+  /// Largest per-edge support (0 on triangle-free graphs); forces
+  /// Supports().
+  uint32_t MaxSupport() const;
+
+ private:
+  CsrGraph csr_;
+  int threads_;
+  mutable std::mutex mu_;
+  mutable std::optional<std::vector<uint32_t>> supports_;
+  mutable std::optional<std::vector<Triangle>> triangles_;
+  mutable uint64_t triangle_count_ = 0;
+  mutable uint32_t max_support_ = 0;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_CORE_ANALYSIS_CONTEXT_H_

@@ -11,7 +11,8 @@ namespace tkc {
 namespace {
 
 // Fills sub.vertices from sub.edges.
-void CollectVertices(const Graph& g, CoreSubgraph* sub) {
+template <typename GraphT>
+void CollectVertices(const GraphT& g, CoreSubgraph* sub) {
   sub->vertices.clear();
   for (EdgeId e : sub->edges) {
     Edge edge = g.GetEdge(e);
@@ -25,9 +26,9 @@ void CollectVertices(const Graph& g, CoreSubgraph* sub) {
 }
 
 // BFS over the triangle-adjacency of edges whose κ >= k, starting at
-// `seed`. `in_subgraph(f)` gates membership. Marks visited edges in
-// `visited` and returns them.
-std::vector<EdgeId> TriangleBfs(const Graph& g,
+// `seed`. Marks visited edges in `visited` and returns them.
+template <typename GraphT>
+std::vector<EdgeId> TriangleBfs(const GraphT& g,
                                 const std::vector<uint32_t>& kappa,
                                 uint32_t k, EdgeId seed,
                                 std::vector<bool>& visited) {
@@ -52,10 +53,10 @@ std::vector<EdgeId> TriangleBfs(const Graph& g,
   return component;
 }
 
-}  // namespace
-
-CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
-                           uint32_t k) {
+template <typename GraphT>
+CoreSubgraph TriangleKCoreImpl(const GraphT& g,
+                               const std::vector<uint32_t>& kappa,
+                               uint32_t k) {
   CoreSubgraph sub;
   sub.k = k;
   g.ForEachEdge([&](EdgeId e, const Edge&) {
@@ -65,8 +66,10 @@ CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
   return sub;
 }
 
-CoreSubgraph MaxTriangleCoreOf(const Graph& g,
-                               const std::vector<uint32_t>& kappa, EdgeId e) {
+template <typename GraphT>
+CoreSubgraph MaxTriangleCoreOfImpl(const GraphT& g,
+                                   const std::vector<uint32_t>& kappa,
+                                   EdgeId e) {
   TKC_CHECK(g.IsEdgeAlive(e));
   CoreSubgraph sub;
   sub.k = kappa[e];
@@ -76,8 +79,9 @@ CoreSubgraph MaxTriangleCoreOf(const Graph& g,
   return sub;
 }
 
-std::vector<CoreSubgraph> TriangleConnectedCores(
-    const Graph& g, const std::vector<uint32_t>& kappa, uint32_t k) {
+template <typename GraphT>
+std::vector<CoreSubgraph> TriangleConnectedCoresImpl(
+    const GraphT& g, const std::vector<uint32_t>& kappa, uint32_t k) {
   std::vector<CoreSubgraph> cores;
   std::vector<bool> visited(g.EdgeCapacity(), false);
   g.ForEachEdge([&](EdgeId e, const Edge&) {
@@ -100,8 +104,10 @@ std::vector<CoreSubgraph> TriangleConnectedCores(
   return cores;
 }
 
-bool VerifyTriangleKCore(const Graph& g, const std::vector<EdgeId>& sub_edges,
-                         uint32_t k) {
+template <typename GraphT>
+bool VerifyTriangleKCoreImpl(const GraphT& g,
+                             const std::vector<EdgeId>& sub_edges,
+                             uint32_t k) {
   std::vector<bool> member(g.EdgeCapacity(), false);
   for (EdgeId e : sub_edges) {
     if (!g.IsEdgeAlive(e)) return false;
@@ -117,7 +123,8 @@ bool VerifyTriangleKCore(const Graph& g, const std::vector<EdgeId>& sub_edges,
   return true;
 }
 
-bool VerifyTheorem1(const Graph& g, const std::vector<uint32_t>& kappa) {
+template <typename GraphT>
+bool VerifyTheorem1Impl(const GraphT& g, const std::vector<uint32_t>& kappa) {
   bool ok = true;
   g.ForEachEdge([&](EdgeId e, const Edge&) {
     uint32_t supported = 0;
@@ -129,9 +136,9 @@ bool VerifyTheorem1(const Graph& g, const std::vector<uint32_t>& kappa) {
   return ok;
 }
 
-std::vector<CoreTriangle> CoreTrianglesOf(const Graph& g,
-                                          const TriangleCoreResult& result,
-                                          EdgeId e) {
+template <typename GraphT>
+std::vector<CoreTriangle> CoreTrianglesOfImpl(
+    const GraphT& g, const TriangleCoreResult& result, EdgeId e) {
   struct Entry {
     uint32_t process_time;
     CoreTriangle triangle;
@@ -156,13 +163,84 @@ std::vector<CoreTriangle> CoreTrianglesOf(const Graph& g,
   return core;
 }
 
-bool IsClique(const Graph& g, const std::vector<VertexId>& vertices) {
+template <typename GraphT>
+bool IsCliqueImpl(const GraphT& g, const std::vector<VertexId>& vertices) {
   for (size_t i = 0; i < vertices.size(); ++i) {
     for (size_t j = i + 1; j < vertices.size(); ++j) {
       if (!g.HasEdge(vertices[i], vertices[j])) return false;
     }
   }
   return true;
+}
+
+}  // namespace
+
+CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
+                           uint32_t k) {
+  return TriangleKCoreImpl(g, kappa, k);
+}
+
+CoreSubgraph TriangleKCore(const CsrGraph& g,
+                           const std::vector<uint32_t>& kappa, uint32_t k) {
+  return TriangleKCoreImpl(g, kappa, k);
+}
+
+CoreSubgraph MaxTriangleCoreOf(const Graph& g,
+                               const std::vector<uint32_t>& kappa, EdgeId e) {
+  return MaxTriangleCoreOfImpl(g, kappa, e);
+}
+
+CoreSubgraph MaxTriangleCoreOf(const CsrGraph& g,
+                               const std::vector<uint32_t>& kappa, EdgeId e) {
+  return MaxTriangleCoreOfImpl(g, kappa, e);
+}
+
+std::vector<CoreSubgraph> TriangleConnectedCores(
+    const Graph& g, const std::vector<uint32_t>& kappa, uint32_t k) {
+  return TriangleConnectedCoresImpl(g, kappa, k);
+}
+
+std::vector<CoreSubgraph> TriangleConnectedCores(
+    const CsrGraph& g, const std::vector<uint32_t>& kappa, uint32_t k) {
+  return TriangleConnectedCoresImpl(g, kappa, k);
+}
+
+bool VerifyTriangleKCore(const Graph& g, const std::vector<EdgeId>& sub_edges,
+                         uint32_t k) {
+  return VerifyTriangleKCoreImpl(g, sub_edges, k);
+}
+
+bool VerifyTriangleKCore(const CsrGraph& g,
+                         const std::vector<EdgeId>& sub_edges, uint32_t k) {
+  return VerifyTriangleKCoreImpl(g, sub_edges, k);
+}
+
+bool VerifyTheorem1(const Graph& g, const std::vector<uint32_t>& kappa) {
+  return VerifyTheorem1Impl(g, kappa);
+}
+
+bool VerifyTheorem1(const CsrGraph& g, const std::vector<uint32_t>& kappa) {
+  return VerifyTheorem1Impl(g, kappa);
+}
+
+std::vector<CoreTriangle> CoreTrianglesOf(const Graph& g,
+                                          const TriangleCoreResult& result,
+                                          EdgeId e) {
+  return CoreTrianglesOfImpl(g, result, e);
+}
+
+std::vector<CoreTriangle> CoreTrianglesOf(const CsrGraph& g,
+                                          const TriangleCoreResult& result,
+                                          EdgeId e) {
+  return CoreTrianglesOfImpl(g, result, e);
+}
+
+bool IsClique(const Graph& g, const std::vector<VertexId>& vertices) {
+  return IsCliqueImpl(g, vertices);
+}
+
+bool IsClique(const CsrGraph& g, const std::vector<VertexId>& vertices) {
+  return IsCliqueImpl(g, vertices);
 }
 
 }  // namespace tkc

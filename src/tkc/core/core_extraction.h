@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tkc/core/triangle_core.h"
+#include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 
 namespace tkc {
@@ -19,9 +20,12 @@ struct CoreSubgraph {
 
 /// Edges of the *maximal* Triangle K-Core with number >= k: exactly the
 /// edges with κ(e) >= k (Claim 2's subgraph G_k). May be triangle- and even
-/// vertex-disconnected.
+/// vertex-disconnected. Every function in this header has a CsrGraph
+/// overload producing identical output (EdgeIds are shared).
 CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
                            uint32_t k);
+CoreSubgraph TriangleKCore(const CsrGraph& g,
+                           const std::vector<uint32_t>& kappa, uint32_t k);
 
 /// Definition 4: the maximum Triangle K-Core associated with edge `e`,
 /// materialized as the *triangle-connected* component of `e` inside the
@@ -30,27 +34,35 @@ CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
 /// the "community" the paper draws in its case studies.
 CoreSubgraph MaxTriangleCoreOf(const Graph& g,
                                const std::vector<uint32_t>& kappa, EdgeId e);
+CoreSubgraph MaxTriangleCoreOf(const CsrGraph& g,
+                               const std::vector<uint32_t>& kappa, EdgeId e);
 
 /// All triangle-connected components of the κ >= k subgraph, each reported
 /// as its own CoreSubgraph. Components with no triangle (isolated edges of
 /// the subgraph) are skipped for k >= 1.
 std::vector<CoreSubgraph> TriangleConnectedCores(
     const Graph& g, const std::vector<uint32_t>& kappa, uint32_t k);
+std::vector<CoreSubgraph> TriangleConnectedCores(
+    const CsrGraph& g, const std::vector<uint32_t>& kappa, uint32_t k);
 
 /// Checks Definition 3: every edge of `sub` participates in at least `k`
 /// triangles formed entirely by edges of `sub`. Used by tests and by the
 /// benchmark harnesses to certify extracted cores.
 bool VerifyTriangleKCore(const Graph& g, const std::vector<EdgeId>& sub_edges,
                          uint32_t k);
+bool VerifyTriangleKCore(const CsrGraph& g,
+                         const std::vector<EdgeId>& sub_edges, uint32_t k);
 
 /// Checks the Theorem 1 consequence globally: every live edge `e` has at
 /// least κ(e) triangles whose two partner edges both have κ >= κ(e) — i.e.,
 /// e's maximum Triangle K-Core is realizable from triangles that respect
 /// Theorem 1. (The decomposition is the maximum such assignment; see tests.)
 bool VerifyTheorem1(const Graph& g, const std::vector<uint32_t>& kappa);
+bool VerifyTheorem1(const CsrGraph& g, const std::vector<uint32_t>& kappa);
 
 /// True iff `vertices` form a clique in `g`.
 bool IsClique(const Graph& g, const std::vector<VertexId>& vertices);
+bool IsClique(const CsrGraph& g, const std::vector<VertexId>& vertices);
 
 /// Appendix Rule 1: without storing per-edge triangle sets, the κ(e)
 /// triangles of e's maximum Triangle K-Core can be recovered from the
@@ -62,6 +74,9 @@ struct CoreTriangle {
   EdgeId e1, e2;
 };
 std::vector<CoreTriangle> CoreTrianglesOf(const Graph& g,
+                                          const TriangleCoreResult& result,
+                                          EdgeId e);
+std::vector<CoreTriangle> CoreTrianglesOf(const CsrGraph& g,
                                           const TriangleCoreResult& result,
                                           EdgeId e);
 

@@ -9,8 +9,11 @@
 
 namespace tkc {
 
-CoreHierarchy BuildCoreHierarchy(const Graph& g,
-                                 const TriangleCoreResult& result) {
+namespace {
+
+template <typename GraphT>
+CoreHierarchy BuildCoreHierarchyImpl(const GraphT& g,
+                                     const TriangleCoreResult& result) {
   CoreHierarchy h;
   h.leaf_of_edge_.assign(g.EdgeCapacity(), UINT32_MAX);
   const uint32_t max_k = MaxKappa(g, result);
@@ -75,6 +78,18 @@ CoreHierarchy BuildCoreHierarchy(const Graph& g,
     prev_node.swap(cur_node);
   }
   return h;
+}
+
+}  // namespace
+
+CoreHierarchy BuildCoreHierarchy(const Graph& g,
+                                 const TriangleCoreResult& result) {
+  return BuildCoreHierarchyImpl(g, result);
+}
+
+CoreHierarchy BuildCoreHierarchy(const CsrGraph& g,
+                                 const TriangleCoreResult& result) {
+  return BuildCoreHierarchyImpl(g, result);
 }
 
 namespace {

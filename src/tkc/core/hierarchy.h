@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tkc/core/triangle_core.h"
+#include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 
 namespace tkc {
@@ -46,6 +47,8 @@ struct CoreHierarchy {
 /// links the member edges). Cost: one triangle-BFS pass per level over the
 /// edges at that level.
 CoreHierarchy BuildCoreHierarchy(const Graph& g,
+                                 const TriangleCoreResult& result);
+CoreHierarchy BuildCoreHierarchy(const CsrGraph& g,
                                  const TriangleCoreResult& result);
 
 /// Renders the hierarchy as an indented outline (one line per node with

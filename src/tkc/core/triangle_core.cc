@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "tkc/core/analysis_context.h"
 #include "tkc/graph/triangle.h"
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
@@ -60,53 +61,22 @@ class EdgeBucketQueue {
   std::vector<uint32_t> bucket_;
 };
 
-// Shared peel over any graph type exposing EdgeCapacity / ForEachEdge /
-// GetEdge / ForEachCommonNeighbor (Graph and CsrGraph).
+// Per-edge lists of the two partner edges of each incident triangle, the
+// kStoreTriangles representation.
+using StoredTriangleLists =
+    std::vector<std::vector<std::pair<EdgeId, EdgeId>>>;
+
+// Steps 7-18 of Algorithm 1, shared by every entry point: bucket-sorts the
+// live edges by the initial κ̃ in `support` and peels. `support` is consumed
+// (lowered in place); `stored` is only read in kStoreTriangles mode.
 template <typename GraphT>
-TriangleCoreResult PeelTriangleCores(const GraphT& g,
-                                     TriangleStorageMode mode) {
-  TKC_SPAN("core.decompose");
+void PeelCore(const GraphT& g, TriangleStorageMode mode,
+              const std::vector<EdgeId>& live,
+              std::vector<uint32_t>& support,
+              const StoredTriangleLists& stored,
+              TriangleCoreResult& result) {
   const size_t cap = g.EdgeCapacity();
-  TriangleCoreResult result;
-  result.kappa.assign(cap, 0);
-  result.order.assign(cap, kInvalidOrder);
-
-  std::vector<EdgeId> live;
-  g.ForEachEdge([&](EdgeId e, const Edge&) { live.push_back(e); });
   result.peel_sequence.reserve(live.size());
-
-  // Steps 1-5: κ̃(e) = number of triangles on e (the upper bound), each
-  // triangle discovered once at its lexicographically smallest edge.
-  std::vector<uint32_t> support(cap, 0);
-  std::vector<std::vector<std::pair<EdgeId, EdgeId>>> stored;
-  if (mode == TriangleStorageMode::kStoreTriangles) stored.resize(cap);
-  {
-    TKC_SPAN("support_count");
-    uint64_t wedges = 0;
-    g.ForEachEdge([&](EdgeId e, const Edge& edge) {
-      wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
-      g.ForEachCommonNeighbor(edge.u, edge.v,
-                              [&](VertexId w, EdgeId uw, EdgeId vw) {
-                                if (w <= edge.v) return;
-                                ++support[e];
-                                ++support[uw];
-                                ++support[vw];
-                                ++result.triangle_count;
-                                if (mode ==
-                                    TriangleStorageMode::kStoreTriangles) {
-                                  stored[e].emplace_back(uw, vw);
-                                  stored[uw].emplace_back(e, vw);
-                                  stored[vw].emplace_back(e, uw);
-                                }
-                              });
-    });
-    auto& registry = obs::MetricsRegistry::Global();
-    registry.GetCounter("triangle.wedges_examined").Add(wedges);
-    registry.GetCounter("triangle.triangles_found")
-        .Add(result.triangle_count);
-    TKC_SPAN_COUNTER("wedges_examined", wedges);
-    TKC_SPAN_COUNTER("triangles_found", result.triangle_count);
-  }
 
   // Step 7: bucket sort edges by κ̃.
   std::vector<bool> processed(cap, false);
@@ -169,6 +139,56 @@ TriangleCoreResult PeelTriangleCores(const GraphT& g,
     registry.GetCounter("core.peel.level." + std::to_string(k))
         .Add(peeled_per_level[k]);
   }
+}
+
+// Full Algorithm 1 over a self-contained graph: count supports inline
+// (steps 1-5), then peel.
+template <typename GraphT>
+TriangleCoreResult PeelTriangleCores(const GraphT& g,
+                                     TriangleStorageMode mode) {
+  TKC_SPAN("core.decompose");
+  const size_t cap = g.EdgeCapacity();
+  TriangleCoreResult result;
+  result.kappa.assign(cap, 0);
+  result.order.assign(cap, kInvalidOrder);
+
+  std::vector<EdgeId> live;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { live.push_back(e); });
+
+  // Steps 1-5: κ̃(e) = number of triangles on e (the upper bound), each
+  // triangle discovered once at its lexicographically smallest edge.
+  std::vector<uint32_t> support(cap, 0);
+  StoredTriangleLists stored;
+  if (mode == TriangleStorageMode::kStoreTriangles) stored.resize(cap);
+  {
+    TKC_SPAN("support_count");
+    uint64_t wedges = 0;
+    g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+      wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
+      g.ForEachCommonNeighbor(edge.u, edge.v,
+                              [&](VertexId w, EdgeId uw, EdgeId vw) {
+                                if (w <= edge.v) return;
+                                ++support[e];
+                                ++support[uw];
+                                ++support[vw];
+                                ++result.triangle_count;
+                                if (mode ==
+                                    TriangleStorageMode::kStoreTriangles) {
+                                  stored[e].emplace_back(uw, vw);
+                                  stored[uw].emplace_back(e, vw);
+                                  stored[vw].emplace_back(e, uw);
+                                }
+                              });
+    });
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("triangle.wedges_examined").Add(wedges);
+    registry.GetCounter("triangle.triangles_found")
+        .Add(result.triangle_count);
+    TKC_SPAN_COUNTER("wedges_examined", wedges);
+    TKC_SPAN_COUNTER("triangles_found", result.triangle_count);
+  }
+
+  PeelCore(g, mode, live, support, stored, result);
   return result;
 }
 
@@ -184,7 +204,47 @@ TriangleCoreResult ComputeTriangleCores(const CsrGraph& g,
   return PeelTriangleCores(g, mode);
 }
 
+TriangleCoreResult ComputeTriangleCores(const AnalysisContext& ctx,
+                                        TriangleStorageMode mode) {
+  TKC_SPAN("core.decompose");
+  const CsrGraph& g = ctx.csr();
+  const size_t cap = g.EdgeCapacity();
+  TriangleCoreResult result;
+  result.kappa.assign(cap, 0);
+  result.order.assign(cap, kInvalidOrder);
+
+  std::vector<EdgeId> live;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { live.push_back(e); });
+
+  // Initial κ̃ from the context's shared support cache (first use computes
+  // it under a nested "support_count" span; later uses are free).
+  std::vector<uint32_t> support = ctx.Supports();
+  result.triangle_count = ctx.TriangleCount();
+
+  // In store mode, replay the materialized triangle list into the same
+  // per-edge partner lists (and order) the inline pass would have built,
+  // so the peel visits triangles identically.
+  StoredTriangleLists stored;
+  if (mode == TriangleStorageMode::kStoreTriangles) {
+    stored.resize(cap);
+    for (const Triangle& t : ctx.Triangles()) {
+      stored[t.ab].emplace_back(t.ac, t.bc);
+      stored[t.ac].emplace_back(t.ab, t.bc);
+      stored[t.bc].emplace_back(t.ab, t.ac);
+    }
+  }
+
+  PeelCore(g, mode, live, support, stored, result);
+  return result;
+}
+
 uint32_t MaxKappa(const Graph& g, const TriangleCoreResult& r) {
+  uint32_t m = 0;
+  g.ForEachEdge([&](EdgeId e, const Edge&) { m = std::max(m, r.kappa[e]); });
+  return m;
+}
+
+uint32_t MaxKappa(const CsrGraph& g, const TriangleCoreResult& r) {
   uint32_t m = 0;
   g.ForEachEdge([&](EdgeId e, const Edge&) { m = std::max(m, r.kappa[e]); });
   return m;

@@ -56,8 +56,21 @@ TriangleCoreResult ComputeTriangleCores(
     const CsrGraph& g,
     TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
 
+class AnalysisContext;
+
+/// Same peel over a shared AnalysisContext: the initial κ̃ comes from the
+/// context's cached support array (computed once per context by the
+/// parallel kernel) and, in kStoreTriangles mode, the triangle lists come
+/// from the context's materialized triangles — so repeated decompositions
+/// and other consumers never recount supports. Results are bit-for-bit
+/// identical to both other overloads.
+TriangleCoreResult ComputeTriangleCores(
+    const AnalysisContext& ctx,
+    TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
+
 /// Largest κ over live edges of a precomputed result (0 on empty graphs).
 uint32_t MaxKappa(const Graph& g, const TriangleCoreResult& r);
+uint32_t MaxKappa(const CsrGraph& g, const TriangleCoreResult& r);
 
 }  // namespace tkc
 

@@ -4,7 +4,11 @@
 
 namespace tkc {
 
-ComponentResult ConnectedComponents(const Graph& g) {
+namespace {
+
+// BFS labeling shared by the mutable and frozen representations.
+template <typename GraphT>
+ComponentResult LabelComponents(const GraphT& g) {
   const VertexId n = g.NumVertices();
   ComponentResult result;
   result.component_of.assign(n, kInvalidVertex);
@@ -28,7 +32,8 @@ ComponentResult ConnectedComponents(const Graph& g) {
   return result;
 }
 
-bool SameComponent(const Graph& g, VertexId u, VertexId v) {
+template <typename GraphT>
+bool BfsSameComponent(const GraphT& g, VertexId u, VertexId v) {
   if (u == v) return true;
   if (u >= g.NumVertices() || v >= g.NumVertices()) return false;
   std::vector<bool> visited(g.NumVertices(), false);
@@ -48,7 +53,8 @@ bool SameComponent(const Graph& g, VertexId u, VertexId v) {
   return false;
 }
 
-std::vector<VertexId> ReachableFrom(const Graph& g, VertexId start) {
+template <typename GraphT>
+std::vector<VertexId> BfsReachable(const GraphT& g, VertexId start) {
   std::vector<VertexId> out;
   if (start >= g.NumVertices()) return out;
   std::vector<bool> visited(g.NumVertices(), false);
@@ -66,6 +72,32 @@ std::vector<VertexId> ReachableFrom(const Graph& g, VertexId start) {
     }
   }
   return out;
+}
+
+}  // namespace
+
+ComponentResult ConnectedComponents(const Graph& g) {
+  return LabelComponents(g);
+}
+
+ComponentResult ConnectedComponents(const CsrGraph& g) {
+  return LabelComponents(g);
+}
+
+bool SameComponent(const Graph& g, VertexId u, VertexId v) {
+  return BfsSameComponent(g, u, v);
+}
+
+bool SameComponent(const CsrGraph& g, VertexId u, VertexId v) {
+  return BfsSameComponent(g, u, v);
+}
+
+std::vector<VertexId> ReachableFrom(const Graph& g, VertexId start) {
+  return BfsReachable(g, start);
+}
+
+std::vector<VertexId> ReachableFrom(const CsrGraph& g, VertexId start) {
+  return BfsReachable(g, start);
 }
 
 }  // namespace tkc

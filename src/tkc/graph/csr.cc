@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tkc/graph/triangle.h"
 #include "tkc/util/check.h"
 
 namespace tkc {
@@ -33,19 +34,21 @@ EdgeId CsrGraph::FindEdge(VertexId u, VertexId v) const {
   return it->edge;
 }
 
-std::vector<uint32_t> CsrGraph::ComputeSupports() const {
-  std::vector<uint32_t> support(edge_capacity_, 0);
-  ForEachEdge([&](EdgeId e, const Edge& edge) {
-    ForEachCommonNeighbor(edge.u, edge.v,
-                          [&](VertexId w, EdgeId uw, EdgeId vw) {
-                            if (w > edge.v) {
-                              ++support[e];
-                              ++support[uw];
-                              ++support[vw];
-                            }
-                          });
-  });
-  return support;
+uint32_t CsrGraph::CountCommonNeighbors(VertexId u, VertexId v) const {
+  uint32_t count = 0;
+  ForEachCommonNeighbor(u, v, [&](VertexId, EdgeId, EdgeId) { ++count; });
+  return count;
+}
+
+std::vector<EdgeId> CsrGraph::EdgeIds() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(NumEdges());
+  ForEachEdge([&](EdgeId e, const Edge&) { ids.push_back(e); });
+  return ids;
+}
+
+std::vector<uint32_t> CsrGraph::ComputeSupports(int threads) const {
+  return ComputeEdgeSupports(*this, threads);
 }
 
 uint64_t CsrGraph::CountTriangles() const {

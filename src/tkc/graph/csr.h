@@ -39,12 +39,43 @@ class CsrGraph {
     return entries_.data() + offsets_[v + 1];
   }
 
+  /// Lightweight random-access view over one adjacency list, so algorithm
+  /// templates written against Graph::Neighbors (range-for, indexing) run
+  /// unchanged on the CSR snapshot.
+  class NeighborSpan {
+   public:
+    NeighborSpan(const Neighbor* begin, const Neighbor* end)
+        : begin_(begin), end_(end) {}
+    const Neighbor* begin() const { return begin_; }
+    const Neighbor* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+    const Neighbor& operator[](size_t i) const { return begin_[i]; }
+
+   private:
+    const Neighbor* begin_;
+    const Neighbor* end_;
+  };
+
+  NeighborSpan Neighbors(VertexId v) const {
+    return {NeighborsBegin(v), NeighborsEnd(v)};
+  }
+
   Edge GetEdge(EdgeId e) const { return edges_[e]; }
   bool IsEdgeAlive(EdgeId e) const {
     return e < edges_.size() && edges_[e].u != kInvalidVertex;
   }
 
   EdgeId FindEdge(VertexId u, VertexId v) const;
+  bool HasEdge(VertexId u, VertexId v) const {
+    return FindEdge(u, v) != kInvalidEdge;
+  }
+
+  /// Number of common neighbors of `u` and `v`.
+  uint32_t CountCommonNeighbors(VertexId u, VertexId v) const;
+
+  /// Lists all live edge ids in increasing order.
+  std::vector<EdgeId> EdgeIds() const;
 
   /// Invokes fn(w, uw_edge, vw_edge) per common neighbor (sorted merge).
   template <typename Fn>
@@ -75,7 +106,9 @@ class CsrGraph {
   }
 
   /// Per-edge triangle supports (same contract as ComputeEdgeSupports).
-  std::vector<uint32_t> ComputeSupports() const;
+  /// `threads` follows the ResolveThreads convention (0 = default); the
+  /// result is identical for every thread count.
+  std::vector<uint32_t> ComputeSupports(int threads = 1) const;
 
   /// Total triangle count.
   uint64_t CountTriangles() const;

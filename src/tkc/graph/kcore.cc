@@ -4,7 +4,12 @@
 
 namespace tkc {
 
-KCoreResult ComputeKCores(const Graph& g) {
+namespace {
+
+// Shared Batagelj–Zaversnik peel over any representation exposing
+// NumVertices / Degree / Neighbors (Graph and CsrGraph).
+template <typename GraphT>
+KCoreResult PeelKCores(const GraphT& g) {
   const VertexId n = g.NumVertices();
   KCoreResult result;
   result.core_of.assign(n, 0);
@@ -62,6 +67,12 @@ KCoreResult ComputeKCores(const Graph& g) {
   }
   return result;
 }
+
+}  // namespace
+
+KCoreResult ComputeKCores(const Graph& g) { return PeelKCores(g); }
+
+KCoreResult ComputeKCores(const CsrGraph& g) { return PeelKCores(g); }
 
 std::vector<VertexId> KCoreMembers(const KCoreResult& r, uint32_t k) {
   std::vector<VertexId> members;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 
 namespace tkc {
@@ -23,6 +24,10 @@ struct KCoreResult {
 };
 
 KCoreResult ComputeKCores(const Graph& g);
+
+/// Same decomposition over the frozen CSR read path (identical output —
+/// vertex ids are shared between the representations).
+KCoreResult ComputeKCores(const CsrGraph& g);
 
 /// Vertices of the maximal subgraph with minimum degree >= k (the k-core).
 std::vector<VertexId> KCoreMembers(const KCoreResult& r, uint32_t k);

@@ -9,7 +9,23 @@
 
 namespace tkc {
 
-GraphStats ComputeGraphStats(const Graph& g) {
+namespace {
+
+template <typename GraphT>
+double LocalClusteringImpl(const GraphT& g, VertexId v) {
+  uint64_t d = g.Degree(v);
+  if (d < 2) return 0.0;
+  // Triangles through v = sum over incident edges of common neighbors,
+  // each triangle counted twice (once per incident edge).
+  uint64_t closed_twice = 0;
+  for (const Neighbor& nb : g.Neighbors(v)) {
+    closed_twice += g.CountCommonNeighbors(v, nb.vertex);
+  }
+  return static_cast<double>(closed_twice) / (static_cast<double>(d) * (d - 1));
+}
+
+template <typename GraphT>
+GraphStats ComputeGraphStatsImpl(const GraphT& g) {
   GraphStats stats;
   stats.num_vertices = g.NumVertices();
   stats.num_edges = g.NumEdges();
@@ -33,7 +49,7 @@ GraphStats ComputeGraphStats(const Graph& g) {
 
   double local_sum = 0.0;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    local_sum += LocalClustering(g, v);
+    local_sum += LocalClusteringImpl(g, v);
   }
   stats.mean_local_clustering = local_sum / stats.num_vertices;
 
@@ -42,7 +58,8 @@ GraphStats ComputeGraphStats(const Graph& g) {
   return stats;
 }
 
-std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+template <typename GraphT>
+std::vector<uint64_t> DegreeHistogramImpl(const GraphT& g) {
   uint32_t max_degree = 0;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
     max_degree = std::max(max_degree, g.Degree(v));
@@ -52,16 +69,30 @@ std::vector<uint64_t> DegreeHistogram(const Graph& g) {
   return hist;
 }
 
+}  // namespace
+
+GraphStats ComputeGraphStats(const Graph& g) {
+  return ComputeGraphStatsImpl(g);
+}
+
+GraphStats ComputeGraphStats(const CsrGraph& g) {
+  return ComputeGraphStatsImpl(g);
+}
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  return DegreeHistogramImpl(g);
+}
+
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g) {
+  return DegreeHistogramImpl(g);
+}
+
 double LocalClustering(const Graph& g, VertexId v) {
-  uint64_t d = g.Degree(v);
-  if (d < 2) return 0.0;
-  // Triangles through v = sum over incident edges of common neighbors,
-  // each triangle counted twice (once per incident edge).
-  uint64_t closed_twice = 0;
-  for (const Neighbor& nb : g.Neighbors(v)) {
-    closed_twice += g.CountCommonNeighbors(v, nb.vertex);
-  }
-  return static_cast<double>(closed_twice) / (static_cast<double>(d) * (d - 1));
+  return LocalClusteringImpl(g, v);
+}
+
+double LocalClustering(const CsrGraph& g, VertexId v) {
+  return LocalClusteringImpl(g, v);
 }
 
 uint32_t Eccentricity(const Graph& g, VertexId source, VertexId* farthest) {

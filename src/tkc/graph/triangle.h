@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 
 namespace tkc {
@@ -16,8 +17,9 @@ struct Triangle {
 
 /// Invokes `fn(VertexId w, EdgeId e1, EdgeId e2)` for each triangle on the
 /// live edge `e = {u,v}`, where `w` is the apex, `e1 = {u,w}`, `e2 = {v,w}`.
-template <typename Fn>
-void ForEachTriangleOnEdge(const Graph& g, EdgeId e, Fn&& fn) {
+/// GraphT is Graph or CsrGraph (any type with GetEdge/ForEachCommonNeighbor).
+template <typename GraphT, typename Fn>
+void ForEachTriangleOnEdge(const GraphT& g, EdgeId e, Fn&& fn) {
   Edge edge = g.GetEdge(e);
   g.ForEachCommonNeighbor(edge.u, edge.v, std::forward<Fn>(fn));
 }
@@ -31,13 +33,21 @@ uint32_t EdgeSupport(const Graph& g, EdgeId e);
 /// O(sum over edges of min-degree) — the paper's "linear in |Tri|" regime.
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
 
+/// The shared support kernel over a frozen CSR snapshot. `threads` follows
+/// the ResolveThreads convention (0 = process default, 1 = serial); the
+/// edge-id space is statically partitioned and per-thread partial supports
+/// are reduced in thread order, so the result is identical — bit for bit —
+/// for every thread count, and equal to the Graph overload's.
+std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads = 1);
+
 /// Total number of distinct triangles in the graph.
 uint64_t CountTriangles(const Graph& g);
+uint64_t CountTriangles(const CsrGraph& g, int threads = 1);
 
 /// Invokes `fn(const Triangle&)` exactly once per triangle in the graph.
 /// Enumeration is ordered: a < b < c.
-template <typename Fn>
-void ForEachTriangle(const Graph& g, Fn&& fn) {
+template <typename GraphT, typename Fn>
+void ForEachTriangle(const GraphT& g, Fn&& fn) {
   // Forward algorithm on the natural vertex order: for each edge {u,v} with
   // u < v, scan common neighbors w and keep only w > v, so every triangle
   // is reported at its lexicographically smallest edge.
@@ -53,6 +63,7 @@ void ForEachTriangle(const Graph& g, Fn&& fn) {
 
 /// Lists all triangles (see ForEachTriangle for ordering).
 std::vector<Triangle> ListTriangles(const Graph& g);
+std::vector<Triangle> ListTriangles(const CsrGraph& g);
 
 /// Global and per-vertex clustering statistics; used by generators and by
 /// dataset summaries in the benchmark harnesses.

@@ -1,0 +1,143 @@
+#include "tkc/util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "tkc/obs/metrics.h"
+#include "tkc/util/check.h"
+
+namespace tkc {
+
+namespace {
+
+std::atomic<int> g_default_threads{0};  // 0 = not yet initialized
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int DefaultThreads() {
+  int n = g_default_threads.load(std::memory_order_relaxed);
+  return n == 0 ? HardwareThreads() : n;
+}
+
+void SetDefaultThreads(int threads) {
+  int n = std::max(threads, 1);
+  g_default_threads.store(n, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global().GetGauge("tkc.threads").Set(n);
+}
+
+int ResolveThreads(int threads) {
+  if (threads == 0) return DefaultThreads();
+  return std::max(threads, 1);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1)) {
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+      job = job_;
+    }
+    (*job)(worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    ++job_epoch_;
+    pending_ = num_threads_ - 1;
+  }
+  work_cv_.notify_all();
+  fn(0);  // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::mutex g_run_mu;  // one fork/join job at a time on the shared pool
+std::unique_ptr<ThreadPool> g_pool;
+thread_local bool tls_in_parallel_for = false;
+
+// Grows (never shrinks) the shared pool to hold at least `threads` workers.
+ThreadPool& PoolWithAtLeast(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool || g_pool->num_threads() < threads) {
+    g_pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() { return PoolWithAtLeast(DefaultThreads()); }
+
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(int, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  threads = ResolveThreads(threads);
+  const int chunks = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(threads), n));
+  if (chunks <= 1 || tls_in_parallel_for) {
+    // Nested calls degrade to serial instead of deadlocking on the pool.
+    fn(0, 0, n);
+    return;
+  }
+  ThreadPool& pool = PoolWithAtLeast(chunks);
+  std::lock_guard<std::mutex> run_lock(g_run_mu);
+  pool.Run([&](int worker) {
+    if (worker >= chunks) return;
+    const size_t begin = n * static_cast<size_t>(worker) /
+                         static_cast<size_t>(chunks);
+    const size_t end = n * (static_cast<size_t>(worker) + 1) /
+                       static_cast<size_t>(chunks);
+    if (begin == end) return;
+    tls_in_parallel_for = true;
+    fn(worker, begin, end);
+    tls_in_parallel_for = false;
+  });
+}
+
+}  // namespace tkc

@@ -1,0 +1,73 @@
+#ifndef TKC_UTIL_PARALLEL_H_
+#define TKC_UTIL_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tkc {
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+int HardwareThreads();
+
+/// Process-wide default worker count used when a caller passes `threads = 0`.
+/// Starts at HardwareThreads(); the CLI/bench `--threads` flag sets it.
+/// Setting it also updates the `tkc.threads` gauge in the global metrics
+/// registry. Values < 1 are clamped to 1.
+int DefaultThreads();
+void SetDefaultThreads(int threads);
+
+/// Resolves a caller-supplied thread count: 0 -> DefaultThreads(), < 0 -> 1.
+int ResolveThreads(int threads);
+
+/// Small fixed-size pool of std::threads executing fork/join jobs. One job
+/// runs at a time (Run blocks until every worker finished), which is all the
+/// phase-parallel kernels need. Worker 0 is the calling thread, so a pool of
+/// N threads owns N-1 OS threads and `ThreadPool(1)` owns none.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Invokes fn(worker) once per worker in [0, num_threads) concurrently and
+  /// waits for all of them. fn must not recurse into the same pool.
+  void Run(const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop(int worker);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  uint64_t job_epoch_ = 0;
+  int pending_ = 0;
+  bool stopping_ = false;
+};
+
+/// Shared process pool sized to DefaultThreads(); lazily (re)built when the
+/// default changes. Not for concurrent use from multiple ParallelFor calls —
+/// the phase kernels are fork/join at the top level, so a single shared pool
+/// suffices; an inner call from a worker would deadlock and is checked.
+ThreadPool& GlobalThreadPool();
+
+/// Deterministic static range partition of [0, n): chunk t is
+/// [t*n/threads, (t+1)*n/threads). Invokes fn(thread, begin, end) for each
+/// non-empty chunk. `threads <= 1` (after ResolveThreads) runs fn(0, 0, n)
+/// inline on the calling thread — bit-for-bit the serial path.
+void ParallelFor(int threads, size_t n,
+                 const std::function<void(int, size_t, size_t)>& fn);
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_PARALLEL_H_

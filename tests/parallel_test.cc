@@ -1,0 +1,107 @@
+#include "tkc/util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "tkc/obs/metrics.h"
+
+namespace tkc {
+namespace {
+
+TEST(ParallelTest, ResolveThreadsConvention) {
+  SetDefaultThreads(3);
+  EXPECT_EQ(ResolveThreads(0), 3);
+  EXPECT_EQ(ResolveThreads(1), 1);
+  EXPECT_EQ(ResolveThreads(7), 7);
+  EXPECT_EQ(ResolveThreads(-5), 1);
+  SetDefaultThreads(1);
+}
+
+TEST(ParallelTest, SetDefaultThreadsUpdatesGauge) {
+  SetDefaultThreads(5);
+  EXPECT_EQ(obs::MetricsRegistry::Global().GetGauge("tkc.threads").Value(),
+            5.0);
+  SetDefaultThreads(1);
+}
+
+TEST(ParallelTest, HardwareThreadsPositive) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ParallelTest, ThreadPoolRunsEveryWorker) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(4);
+  for (int round = 0; round < 50; ++round) {
+    pool.Run([&](int worker) { hits[worker].fetch_add(1); });
+  }
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(hits[w].load(), 50);
+}
+
+TEST(ParallelTest, ParallelForPartitionsExactly) {
+  for (int threads : {1, 2, 3, 4, 9}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<uint32_t>> seen(n);
+      ParallelFor(threads, n, [&](int, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) seen[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(seen[i].load(), 1u) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelForChunksAreContiguousAndOrdered) {
+  // The static partition must assign chunk t = [t*n/T, (t+1)*n/T) so that
+  // per-worker shard reductions in worker order are deterministic.
+  const size_t n = 103;
+  const int threads = 4;
+  std::vector<std::pair<size_t, size_t>> ranges(threads, {0, 0});
+  ParallelFor(threads, n, [&](int worker, size_t begin, size_t end) {
+    ranges[static_cast<size_t>(worker)] = {begin, end};
+  });
+  size_t expect_begin = 0;
+  for (int t = 0; t < threads; ++t) {
+    EXPECT_EQ(ranges[t].first, n * static_cast<size_t>(t) / threads);
+    EXPECT_EQ(ranges[t].first, expect_begin);
+    expect_begin = ranges[t].second;
+  }
+  EXPECT_EQ(expect_begin, n);
+}
+
+TEST(ParallelTest, NestedParallelForDegradesToSerial) {
+  std::atomic<uint64_t> total{0};
+  ParallelFor(4, 8, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      // A nested call must run inline rather than deadlock on the pool.
+      ParallelFor(4, 10, [&](int worker, size_t b, size_t e) {
+        EXPECT_EQ(worker, 0);
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80u);
+}
+
+TEST(ParallelTest, ParallelSumMatchesSerial) {
+  std::vector<uint64_t> data(10007);
+  std::iota(data.begin(), data.end(), 1);
+  const uint64_t want =
+      std::accumulate(data.begin(), data.end(), uint64_t{0});
+  for (int threads : {1, 2, 4}) {
+    std::vector<uint64_t> partial(8, 0);
+    ParallelFor(threads, data.size(), [&](int worker, size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) partial[worker] += data[i];
+    });
+    uint64_t got = 0;
+    for (uint64_t p : partial) got += p;
+    EXPECT_EQ(got, want) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace tkc

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Sanitizer smoke run: configure, build, and drive the tier-1 test suite
+# under AddressSanitizer and/or ThreadSanitizer via the TKC_SANITIZE CMake
+# option. TSan is the gate for the parallel kernels (support counting and
+# the DN-Graph sweeps); ASan covers the rest of the read path.
+#
+# usage: tools/sanitize_smoke.sh [address|thread|all]   (default: all)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-all}"
+
+run_one() {
+  local sanitizer="$1"
+  local build_dir="$repo_root/build-$sanitizer"
+  echo "== $sanitizer: configure =="
+  cmake -S "$repo_root" -B "$build_dir" -DTKC_SANITIZE="$sanitizer" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "== $sanitizer: build =="
+  cmake --build "$build_dir" -j "$(nproc)" >/dev/null
+  echo "== $sanitizer: ctest =="
+  (cd "$build_dir" && ctest --output-on-failure)
+  echo "== $sanitizer: OK =="
+}
+
+case "$mode" in
+  address|thread)
+    run_one "$mode"
+    ;;
+  all)
+    run_one address
+    run_one thread
+    ;;
+  *)
+    echo "usage: $0 [address|thread|all]" >&2
+    exit 2
+    ;;
+esac
