@@ -76,7 +76,9 @@ int Run(int argc, char** argv) {
   for (size_t i = 0; i < std::min<size_t>(plateaus.size(), 4); ++i) {
     std::string names;
     for (VertexId v : plateaus[i].vertices) {
-      names += (lg.IsNewVertex(v) ? "n" : "a") + std::to_string(v) + " ";
+      names.append(lg.IsNewVertex(v) ? "n" : "a")
+          .append(std::to_string(v))
+          .append(" ");
       if (names.size() > 36) break;
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),

@@ -79,8 +79,11 @@ int Run(int argc, char** argv) {
   for (size_t i = 0; i < std::min<size_t>(plateaus.size(), 4); ++i) {
     std::string names;
     for (VertexId v : plateaus[i].vertices) {
-      names += "p" + std::to_string(v) + "(c" +
-               std::to_string(complex_of[v]) + ") ";
+      names.append("p")
+          .append(std::to_string(v))
+          .append("(c")
+          .append(std::to_string(complex_of[v]))
+          .append(") ");
       if (names.size() > 40) break;
     }
     table.Row({"#" + FmtCount(i + 1), FmtCount(plateaus[i].value),

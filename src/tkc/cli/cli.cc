@@ -24,6 +24,7 @@
 #include "tkc/util/parallel.h"
 #include "tkc/util/random.h"
 #include "tkc/util/timer.h"
+#include "tkc/verify/verify.h"
 #include "tkc/viz/ascii_chart.h"
 #include "tkc/viz/density_plot.h"
 #include "tkc/viz/svg.h"
@@ -70,11 +71,19 @@ ParsedArgs Parse(const std::vector<std::string>& args) {
 
 std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err) {
   TKC_SPAN("cli.load_graph");
-  auto g = ReadEdgeListFile(path);
+  EdgeListStats stats;
+  auto g = ReadEdgeListFile(path, &stats);
   if (!g.has_value()) {
     err << "error: cannot read edge list '" << path << "'\n";
     obs::Logger::Global().Error("graph.load_failed", {{"path", path}});
     return g;
+  }
+  if (stats.Skipped() > 0) {
+    obs::Logger::Global().Warn("graph.lines_skipped",
+                               {{"path", path},
+                                {"malformed", stats.malformed_lines},
+                                {"self_loops", stats.self_loops},
+                                {"duplicates", stats.duplicate_edges}});
   }
   obs::Logger::Global().Info("graph.loaded",
                              {{"path", path},
@@ -230,6 +239,77 @@ int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return match ? 0 : 3;
 }
 
+// `tkc verify`: run every invariant oracle against the graph (and an
+// optional event log) and emit a human summary plus, with --json-out, the
+// machine-readable tkc.verify.v1 artifact. Exit codes: 0 all invariants
+// hold, 3 an invariant failed (counterexample printed), 2 usage/I-O error.
+int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+
+  verify::VerifyOptions options;
+  const std::string mode = args.Flag("mode", "recompute");
+  if (mode != "recompute" && mode != "store") {
+    err << "error: --mode must be 'store' or 'recompute'\n";
+    return 2;
+  }
+  options.mode = mode == "store" ? TriangleStorageMode::kStoreTriangles
+                                 : TriangleStorageMode::kRecomputeTriangles;
+  const int64_t check_every = args.FlagInt("check-every", 1);
+  if (check_every < 1) {
+    err << "error: --check-every must be >= 1\n";
+    return 2;
+  }
+  options.check_every = static_cast<size_t>(check_every);
+
+  const std::string events_path = args.Flag("events", "");
+  if (!events_path.empty()) {
+    auto events = ReadEvents(events_path);
+    if (!events) {
+      err << "error: cannot read events '" << events_path << "'\n";
+      return 2;
+    }
+    options.events = std::move(*events);
+  }
+
+  Timer t;
+  verify::VerifyReport report = verify::RunFullVerification(*g, options);
+  const double seconds = t.Seconds();
+
+  for (const verify::InvariantCheck& check : report.checks()) {
+    out << (check.passed ? "PASS" : "FAIL") << "  " << check.name;
+    if (!check.detail.empty()) out << "  (" << check.detail << ")";
+    out << '\n';
+    if (!check.passed && check.counterexample.has_value()) {
+      out << "      counterexample: "
+          << check.counterexample->ToJson().Dump() << '\n';
+    }
+  }
+  out << "# checks=" << report.checks().size()
+      << " passed=" << (report.AllPassed() ? "yes" : "NO")
+      << " seconds=" << seconds << '\n';
+
+  const std::string json_out = args.Flag("json-out", "");
+  if (!json_out.empty()) {
+    obs::JsonValue doc = report.ToJson();
+    doc.Set("graph", args.positional[1])
+        .Set("events", events_path)
+        .Set("seconds", seconds);
+    std::ofstream file(json_out);
+    file << doc.Dump(2) << '\n';
+    if (!file.good()) {
+      err << "error: cannot write '" << json_out << "'\n";
+      return 2;
+    }
+    out << "wrote " << json_out << '\n';
+  }
+  if (!report.AllPassed()) {
+    obs::Logger::Global().Error(
+        "verify.failed", {{"check", report.FirstFailure()->name}});
+  }
+  return report.AllPassed() ? 0 : 3;
+}
+
 int CmdTemplates(const ParsedArgs& args, std::ostream& out,
                  std::ostream& err) {
   auto old_g = LoadGraph(args.positional[1], err);
@@ -321,6 +401,8 @@ void PrintUsage(std::ostream& err) {
          "  plot      <edges.txt> [--svg=FILE] [--width=N] [--height=N]\n"
          "  hierarchy <edges.txt> [--max-nodes=N]\n"
          "  update    <edges.txt> <events.txt>\n"
+         "  verify    <edges.txt> [--events=FILE] [--check-every=N]\n"
+         "            [--mode=store|recompute] [--json-out=FILE]\n"
          "  templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin\n"
          "  generate  <er|gnm|ba|plc|ws|rmat|geometric|collab> --out=FILE\n"
          "            [--n=N] [--m=M] [--p=P] [--seed=S]\n"
@@ -350,6 +432,7 @@ bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
       {"plot", {"svg", "width", "height"}},
       {"hierarchy", {"max-nodes"}},
       {"update", {}},
+      {"verify", {"events", "check-every", "mode", "json-out"}},
       {"templates", {"pattern", "min-size"}},
       {"generate", {"out", "seed", "n", "m", "p", "scale"}},
   };
@@ -386,6 +469,7 @@ int Dispatch(const std::string& cmd, const ParsedArgs& parsed,
   if (cmd == "plot" && need(2)) return CmdPlot(parsed, out, err);
   if (cmd == "hierarchy" && need(2)) return CmdHierarchy(parsed, out, err);
   if (cmd == "update" && need(3)) return CmdUpdate(parsed, out, err);
+  if (cmd == "verify" && need(2)) return CmdVerify(parsed, out, err);
   if (cmd == "templates" && need(3)) return CmdTemplates(parsed, out, err);
   if (cmd == "generate" && need(2)) return CmdGenerate(parsed, out, err);
   PrintUsage(err);

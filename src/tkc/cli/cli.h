@@ -25,6 +25,13 @@ namespace tkc {
 ///   update <edges.txt> <events.txt>
 ///       events file: lines "+ u v" / "- u v"; applies them incrementally,
 ///       reports timings vs a from-scratch recompute and the new kappas
+///   verify <edges.txt> [--events=FILE] [--check-every=N]
+///          [--mode=store|recompute] [--json-out=FILE]
+///       runs every invariant oracle (structure, κ-certificate, mode
+///       cross-check, nesting, dynamic replay when --events is given);
+///       exit 0 when all hold, 3 on a violated invariant (with a minimal
+///       counterexample), 2 on usage/I-O errors; --json-out writes the
+///       tkc.verify.v1 artifact
 ///   templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin
 ///       template-pattern clique plateaus between two snapshots
 ///   generate <model> --out=FILE [--n=N] [--seed=S] [--p=P] [--m=M]

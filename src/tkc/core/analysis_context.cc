@@ -5,6 +5,7 @@
 
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
+#include "tkc/util/check.h"
 #include "tkc/util/parallel.h"
 
 namespace tkc {
@@ -23,6 +24,15 @@ const std::vector<uint32_t>& AnalysisContext::Supports() const {
         .GetCounter("analysis.support_computations")
         .Add(1);
     supports_ = ComputeEdgeSupports(csr_, threads_);
+    // L2 oracle: the parallel kernel must agree with a serial per-edge
+    // common-neighbor recount. (No TKC_SPAN here — we hold mu_ and the
+    // tracer is single-threaded.)
+    TKC_VERIFY_L2(csr_.ForEachEdge([&](EdgeId e, const Edge& edge) {
+      TKC_CHECK_MSG(
+          (*supports_)[e] == csr_.CountCommonNeighbors(edge.u, edge.v),
+          "AnalysisContext::Supports: parallel support kernel disagrees "
+          "with per-edge recount");
+    }));
     uint64_t total = 0;
     uint32_t max_support = 0;
     for (uint32_t s : *supports_) {

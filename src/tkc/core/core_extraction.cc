@@ -177,12 +177,19 @@ bool IsCliqueImpl(const GraphT& g, const std::vector<VertexId>& vertices) {
 
 CoreSubgraph TriangleKCore(const Graph& g, const std::vector<uint32_t>& kappa,
                            uint32_t k) {
-  return TriangleKCoreImpl(g, kappa, k);
+  CoreSubgraph sub = TriangleKCoreImpl(g, kappa, k);
+  TKC_VERIFY_L2(TKC_CHECK_MSG(VerifyTriangleKCoreImpl(g, sub.edges, k),
+                              "TriangleKCore(Graph): Definition 3 violated"));
+  return sub;
 }
 
 CoreSubgraph TriangleKCore(const CsrGraph& g,
                            const std::vector<uint32_t>& kappa, uint32_t k) {
-  return TriangleKCoreImpl(g, kappa, k);
+  CoreSubgraph sub = TriangleKCoreImpl(g, kappa, k);
+  TKC_VERIFY_L2(
+      TKC_CHECK_MSG(VerifyTriangleKCoreImpl(g, sub.edges, k),
+                    "TriangleKCore(CsrGraph): Definition 3 violated"));
+  return sub;
 }
 
 CoreSubgraph MaxTriangleCoreOf(const Graph& g,

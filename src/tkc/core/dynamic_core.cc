@@ -10,6 +10,10 @@
 #include "tkc/util/check.h"
 #include "tkc/util/timer.h"
 
+#if TKC_CHECK_LEVEL >= 2
+#include "tkc/verify/certificate.h"
+#endif
+
 namespace tkc {
 
 namespace {
@@ -135,7 +139,17 @@ EdgeId DynamicTriangleCore::InsertEdge(VertexId u, VertexId v) {
   total_stats_.promoted_edges += last_stats_.promoted_edges;
   total_stats_.triangles_scanned += last_stats_.triangles_scanned;
   RecordUpdate(/*is_insert=*/true, latency.Seconds(), last_stats_);
+  VerifyAfterUpdate("DynamicTriangleCore::InsertEdge");
   return e0;
+}
+
+void DynamicTriangleCore::VerifyAfterUpdate(const char* where) {
+#if TKC_CHECK_LEVEL >= 2
+  if (in_batch_) return;
+  verify::CheckOrDie(verify::CheckKappaCertificate(graph_, kappa_), where);
+#else
+  (void)where;
+#endif
 }
 
 void DynamicTriangleCore::ProcessInsertLevel(EdgeId e0, uint32_t k,
@@ -218,6 +232,7 @@ UpdateStats DynamicTriangleCore::ApplyEvents(
     const std::vector<EdgeEvent>& events) {
   TKC_SPAN("dyn.apply_events");
   UpdateStats batch;
+  in_batch_ = true;
   for (const EdgeEvent& ev : events) {
     if (ev.kind == EdgeEvent::Kind::kInsert) {
       InsertEdge(ev.u, ev.v);
@@ -229,6 +244,8 @@ UpdateStats DynamicTriangleCore::ApplyEvents(
     batch.demoted_edges += last_stats_.demoted_edges;
     batch.triangles_scanned += last_stats_.triangles_scanned;
   }
+  in_batch_ = false;
+  VerifyAfterUpdate("DynamicTriangleCore::ApplyEvents");
   return batch;
 }
 
@@ -236,7 +253,12 @@ size_t DynamicTriangleCore::RemoveVertexEdges(VertexId v) {
   if (v >= graph_.NumVertices()) return 0;
   std::vector<EdgeId> incident;
   for (const Neighbor& nb : graph_.Neighbors(v)) incident.push_back(nb.edge);
+  in_batch_ = true;
   for (EdgeId e : incident) RemoveEdgeById(e);
+  in_batch_ = false;
+  if (!incident.empty()) {
+    VerifyAfterUpdate("DynamicTriangleCore::RemoveVertexEdges");
+  }
   return incident.size();
 }
 
@@ -286,6 +308,7 @@ void DynamicTriangleCore::RemoveEdgeInternal(EdgeId e0) {
   total_stats_.demoted_edges += last_stats_.demoted_edges;
   total_stats_.triangles_scanned += last_stats_.triangles_scanned;
   RecordUpdate(/*is_insert=*/false, latency.Seconds(), last_stats_);
+  VerifyAfterUpdate("DynamicTriangleCore::RemoveEdge");
 }
 
 void DynamicTriangleCore::PumpDemotions(std::vector<EdgeId>& queue) {

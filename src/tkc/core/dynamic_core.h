@@ -106,9 +106,14 @@ class DynamicTriangleCore {
   // Cascading demotion queue pump; entries of `queued_` touched by `queue`
   // are reset before returning.
   void PumpDemotions(std::vector<EdgeId>& queue);
+  // TKC_CHECK_LEVEL >= 2 oracle: certifies kappa_ against the independent
+  // recount after a mutation; suppressed mid-batch so ApplyEvents /
+  // RemoveVertexEdges pay for one certificate per batch, not per event.
+  void VerifyAfterUpdate(const char* where);
 
   Graph graph_;
   std::vector<uint32_t> kappa_;
+  bool in_batch_ = false;
   // Scratch (lazily grown to EdgeCapacity, cleaned after every update):
   // 0 = untouched, 1 = live candidate, 2 = evicted candidate.
   std::vector<uint8_t> flag_;

@@ -7,6 +7,10 @@
 #include "tkc/graph/triangle.h"
 #include "tkc/util/check.h"
 
+#if TKC_CHECK_LEVEL >= 2
+#include "tkc/verify/nesting.h"
+#endif
+
 namespace tkc {
 
 namespace {
@@ -84,12 +88,20 @@ CoreHierarchy BuildCoreHierarchyImpl(const GraphT& g,
 
 CoreHierarchy BuildCoreHierarchy(const Graph& g,
                                  const TriangleCoreResult& result) {
-  return BuildCoreHierarchyImpl(g, result);
+  CoreHierarchy h = BuildCoreHierarchyImpl(g, result);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckHierarchyNesting(h, g, result),
+      "BuildCoreHierarchy(Graph)"));
+  return h;
 }
 
 CoreHierarchy BuildCoreHierarchy(const CsrGraph& g,
                                  const TriangleCoreResult& result) {
-  return BuildCoreHierarchyImpl(g, result);
+  CoreHierarchy h = BuildCoreHierarchyImpl(g, result);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckHierarchyNesting(h, g, result),
+      "BuildCoreHierarchy(CsrGraph)"));
+  return h;
 }
 
 namespace {

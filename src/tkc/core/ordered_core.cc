@@ -7,6 +7,10 @@
 #include "tkc/graph/triangle.h"
 #include "tkc/util/check.h"
 
+#if TKC_CHECK_LEVEL >= 2
+#include "tkc/verify/certificate.h"
+#endif
+
 namespace tkc {
 
 OrderedDynamicCore::OrderedDynamicCore(Graph graph)
@@ -94,7 +98,18 @@ EdgeId OrderedDynamicCore::InsertEdge(VertexId u, VertexId v) {
   }
   // A triangle-free insertion still needs consistent (empty) bookkeeping.
   if (new_triangles.empty()) core_apex_[e0].clear();
+  VerifyAfterUpdate("OrderedDynamicCore::InsertEdge");
   return e0;
+}
+
+void OrderedDynamicCore::VerifyAfterUpdate(const char* where) {
+#if TKC_CHECK_LEVEL >= 2
+  if (in_batch_) return;
+  TKC_CHECK_MSG(CheckInvariants(), where);
+  verify::CheckOrDie(verify::CheckKappaCertificate(graph_, kappa_), where);
+#else
+  (void)where;
+#endif
 }
 
 void OrderedDynamicCore::ProcessAddedTriangle(EdgeId a, EdgeId b, EdgeId c) {
@@ -203,6 +218,7 @@ void OrderedDynamicCore::RemoveEdgeById(EdgeId e0) {
   touched_.erase(std::unique(touched_.begin(), touched_.end()),
                  touched_.end());
   for (EdgeId e : touched_) RepairCore(e);
+  VerifyAfterUpdate("OrderedDynamicCore::RemoveEdgeById");
 }
 
 void OrderedDynamicCore::PumpDemotions(std::vector<EdgeId>& queue) {
@@ -246,6 +262,7 @@ void OrderedDynamicCore::PumpDemotions(std::vector<EdgeId>& queue) {
 }
 
 void OrderedDynamicCore::ApplyEvents(const std::vector<EdgeEvent>& events) {
+  in_batch_ = true;
   for (const EdgeEvent& ev : events) {
     if (ev.kind == EdgeEvent::Kind::kInsert) {
       InsertEdge(ev.u, ev.v);
@@ -253,6 +270,8 @@ void OrderedDynamicCore::ApplyEvents(const std::vector<EdgeEvent>& events) {
       RemoveEdge(ev.u, ev.v);
     }
   }
+  in_batch_ = false;
+  VerifyAfterUpdate("OrderedDynamicCore::ApplyEvents");
 }
 
 bool OrderedDynamicCore::CheckInvariants() const {

@@ -58,6 +58,9 @@ class OrderedDynamicCore {
 
  private:
   void GrowArrays();
+  // TKC_CHECK_LEVEL >= 2 oracle: CheckInvariants + independent κ
+  // certificate after a mutation; one certificate per ApplyEvents batch.
+  void VerifyAfterUpdate(const char* where);
   // Rule 0 for one added triangle: single-level candidate search and
   // repeel at level mu; promotes survivors by one.
   void ProcessAddedTriangle(EdgeId a, EdgeId b, EdgeId c);
@@ -76,6 +79,7 @@ class OrderedDynamicCore {
   std::vector<uint32_t> cand_support_;
   std::vector<uint8_t> queued_;
   std::vector<EdgeId> touched_;  // edges whose cores need repair
+  bool in_batch_ = false;
 };
 
 }  // namespace tkc

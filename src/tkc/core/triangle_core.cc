@@ -10,6 +10,10 @@
 #include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
 
+#if TKC_CHECK_LEVEL >= 2
+#include "tkc/verify/certificate.h"
+#endif
+
 namespace tkc {
 
 namespace {
@@ -196,12 +200,20 @@ TriangleCoreResult PeelTriangleCores(const GraphT& g,
 
 TriangleCoreResult ComputeTriangleCores(const Graph& g,
                                         TriangleStorageMode mode) {
-  return PeelTriangleCores(g, mode);
+  TriangleCoreResult result = PeelTriangleCores(g, mode);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(g, result.kappa),
+      "ComputeTriangleCores(Graph)"));
+  return result;
 }
 
 TriangleCoreResult ComputeTriangleCores(const CsrGraph& g,
                                         TriangleStorageMode mode) {
-  return PeelTriangleCores(g, mode);
+  TriangleCoreResult result = PeelTriangleCores(g, mode);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(g, result.kappa),
+      "ComputeTriangleCores(CsrGraph)"));
+  return result;
 }
 
 TriangleCoreResult ComputeTriangleCores(const AnalysisContext& ctx,
@@ -235,6 +247,9 @@ TriangleCoreResult ComputeTriangleCores(const AnalysisContext& ctx,
   }
 
   PeelCore(g, mode, live, support, stored, result);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(g, result.kappa),
+      "ComputeTriangleCores(AnalysisContext)"));
   return result;
 }
 

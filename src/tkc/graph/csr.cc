@@ -5,6 +5,10 @@
 #include "tkc/graph/triangle.h"
 #include "tkc/util/check.h"
 
+#if TKC_CHECK_LEVEL >= 1
+#include "tkc/verify/structural.h"
+#endif
+
 namespace tkc {
 
 CsrGraph::CsrGraph(const Graph& g) {
@@ -21,6 +25,10 @@ CsrGraph::CsrGraph(const Graph& g) {
   edge_capacity_ = g.EdgeCapacity();
   edges_.assign(edge_capacity_, Edge{});
   g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
+  TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckCsrStructure(*this),
+                                   "CsrGraph::CsrGraph"));
+  TKC_VERIFY_L2(verify::CheckOrDie(verify::CheckMirrorConsistency(g, *this),
+                                   "CsrGraph::CsrGraph"));
 }
 
 EdgeId CsrGraph::FindEdge(VertexId u, VertexId v) const {

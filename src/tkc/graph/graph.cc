@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstddef>
 
+#if TKC_CHECK_LEVEL >= 1
+#include "tkc/verify/structural.h"
+#endif
+
 namespace tkc {
 
 namespace {
@@ -45,6 +49,8 @@ EdgeId Graph::AddEdge(VertexId u, VertexId v, bool* inserted) {
   av.insert(std::upper_bound(av.begin(), av.end(), Neighbor{u, id}),
             Neighbor{u, id});
   if (inserted != nullptr) *inserted = true;
+  TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckEdgeLocality(*this, u, v),
+                                   "Graph::AddEdge"));
   return id;
 }
 
@@ -68,6 +74,9 @@ void Graph::RemoveEdgeById(EdgeId e) {
   av.erase(av.begin() + iv);
   edges_[e] = Edge{};  // tombstone
   --num_live_edges_;
+  TKC_VERIFY_L1(verify::CheckOrDie(
+      verify::CheckEdgeLocality(*this, edge.u, edge.v),
+      "Graph::RemoveEdgeById"));
 }
 
 EdgeId Graph::FindEdge(VertexId u, VertexId v) const {

@@ -161,6 +161,15 @@ class Graph {
   /// Total degree (= 2 * NumEdges); handy sanity value for tests.
   size_t TotalDegree() const;
 
+  /// Test-only: writable view of `v`'s adjacency list, so the verify
+  /// oracles' fault-detection tests can seed structural corruption (e.g.
+  /// break the sort order) and prove it is caught. Never call from library
+  /// code — every other method assumes the lists stay sorted.
+  std::vector<Neighbor>& MutableNeighborsForTest(VertexId v) {
+    TKC_DCHECK(v < adjacency_.size());
+    return adjacency_[v];
+  }
+
  private:
   std::vector<std::vector<Neighbor>> adjacency_;
   // Dense edge table; a dead edge has u == kInvalidVertex.

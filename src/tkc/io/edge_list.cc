@@ -5,30 +5,56 @@
 #include <ostream>
 #include <sstream>
 
+#include "tkc/obs/metrics.h"
+
 namespace tkc {
 
-std::optional<Graph> ReadEdgeList(std::istream& in) {
+std::optional<Graph> ReadEdgeList(std::istream& in, EdgeListStats* stats) {
   Graph g;
+  EdgeListStats local;
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    ++local.lines;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      ++local.comment_lines;
+      continue;
+    }
     std::istringstream fields(line);
     long long u = -1, v = -1;
     if (!(fields >> u >> v) || u < 0 || v < 0 ||
         u > static_cast<long long>(kInvalidVertex) - 1 ||
         v > static_cast<long long>(kInvalidVertex) - 1) {
-      return std::nullopt;
+      ++local.malformed_lines;
+      continue;
     }
-    if (u == v) continue;  // drop self-loops
-    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (u == v) {
+      ++local.self_loops;
+      continue;
+    }
+    bool inserted = false;
+    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v), &inserted);
+    if (inserted) {
+      ++local.edges_added;
+    } else {
+      // AddEdge normalizes u<v and FindEdge is symmetric, so this also
+      // catches reversed "v u" repeats.
+      ++local.duplicate_edges;
+    }
   }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("io.skipped_lines").Add(local.Skipped());
+  registry.GetCounter("io.malformed_lines").Add(local.malformed_lines);
+  registry.GetCounter("io.self_loops").Add(local.self_loops);
+  registry.GetCounter("io.duplicate_edges").Add(local.duplicate_edges);
+  if (stats != nullptr) *stats = local;
   return g;
 }
 
-std::optional<Graph> ReadEdgeListFile(const std::string& path) {
+std::optional<Graph> ReadEdgeListFile(const std::string& path,
+                                      EdgeListStats* stats) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
-  return ReadEdgeList(in);
+  return ReadEdgeList(in, stats);
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& out) {

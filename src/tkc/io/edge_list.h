@@ -1,6 +1,7 @@
 #ifndef TKC_IO_EDGE_LIST_H_
 #define TKC_IO_EDGE_LIST_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -12,14 +13,39 @@ namespace tkc {
 
 /// Plain-text edge list: one "u v" pair per line; blank lines and lines
 /// starting with '#' or '%' are ignored (SNAP / Pajek-style headers).
-/// Duplicate pairs and self-loops in the input are skipped silently —
-/// public datasets such as the ones in Table I routinely contain both.
+///
+/// Public datasets such as the ones in Table I routinely carry junk —
+/// self-loops, duplicate pairs (often reversed), stray text. The reader is
+/// tolerant: offending lines are *skipped and counted* instead of aborting
+/// the load, so one bad row in a million-edge crawl does not discard the
+/// dataset. The per-kind tallies land in `EdgeListStats` and in the
+/// `io.skipped_lines` / `io.malformed_lines` / `io.self_loops` /
+/// `io.duplicate_edges` metrics counters.
 
-/// Parses from a stream. Returns std::nullopt on malformed input.
-std::optional<Graph> ReadEdgeList(std::istream& in);
+/// Per-load accounting of what the tolerant reader did.
+struct EdgeListStats {
+  uint64_t lines = 0;            // every line seen, including comments
+  uint64_t comment_lines = 0;    // blank, '#', '%'
+  uint64_t malformed_lines = 0;  // non-numeric, negative, or out-of-range
+  uint64_t self_loops = 0;       // "u u" rows
+  uint64_t duplicate_edges = 0;  // repeats, including reversed "v u" rows
+  uint64_t edges_added = 0;      // rows that became live edges
 
-/// Reads from a file path.
-std::optional<Graph> ReadEdgeListFile(const std::string& path);
+  /// Rows skipped for any reason (the io.skipped_lines counter).
+  uint64_t Skipped() const {
+    return malformed_lines + self_loops + duplicate_edges;
+  }
+};
+
+/// Parses from a stream; never fails on row content (see above). `stats`,
+/// when provided, receives the load accounting.
+std::optional<Graph> ReadEdgeList(std::istream& in,
+                                  EdgeListStats* stats = nullptr);
+
+/// Reads from a file path. Returns std::nullopt when the file cannot be
+/// opened.
+std::optional<Graph> ReadEdgeListFile(const std::string& path,
+                                      EdgeListStats* stats = nullptr);
 
 /// Writes "u v" lines (live edges, increasing EdgeId), with a "# vertices
 /// edges" comment header.

@@ -39,4 +39,40 @@
 #define TKC_DCHECK(cond) TKC_CHECK(cond)
 #endif
 
+// Compile-time verification level (the -DTKC_CHECK_LEVEL CMake knob),
+// gating the runtime invariant oracles in src/tkc/verify/:
+//   0  release: no oracle calls compiled in (default);
+//   1  cheap structural checks at API boundaries (post-mutation adjacency
+//      audits, CSR construction audit) — O(deg) per mutation;
+//   2  level 1 plus the full oracles after every mutation batch: the
+//      κ-certificate against the dynamic maintainers, support recounts,
+//      hierarchy/extraction nesting.
+// The macros take statements (typically verify::CheckOrDie(...) calls) so
+// call sites pay nothing when the level compiles the hook out.
+#ifndef TKC_CHECK_LEVEL
+#define TKC_CHECK_LEVEL 0
+#endif
+
+#if TKC_CHECK_LEVEL >= 1
+#define TKC_VERIFY_L1(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+#else
+#define TKC_VERIFY_L1(...) \
+  do {                     \
+  } while (0)
+#endif
+
+#if TKC_CHECK_LEVEL >= 2
+#define TKC_VERIFY_L2(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+#else
+#define TKC_VERIFY_L2(...) \
+  do {                     \
+  } while (0)
+#endif
+
 #endif  // TKC_UTIL_CHECK_H_

@@ -1,0 +1,109 @@
+#include "tkc/verify/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "tkc/obs/metrics.h"
+
+namespace tkc::verify {
+
+obs::JsonValue Counterexample::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  if (edge != kInvalidEdge) doc.Set("edge", edge);
+  if (u != kInvalidVertex) doc.Set("u", u);
+  if (v != kInvalidVertex) doc.Set("v", v);
+  doc.Set("level", level);
+  doc.Set("observed", observed);
+  doc.Set("expected", expected);
+  if (!note.empty()) doc.Set("note", note);
+  return doc;
+}
+
+obs::JsonValue InvariantCheck::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("name", name).Set("passed", passed);
+  if (!detail.empty()) doc.Set("detail", detail);
+  if (counterexample.has_value()) {
+    doc.Set("counterexample", counterexample->ToJson());
+  }
+  return doc;
+}
+
+void VerifyReport::Add(InvariantCheck check) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("verify.checks_run").Add(1);
+  if (!check.passed) registry.GetCounter("verify.checks_failed").Add(1);
+  checks_.push_back(std::move(check));
+}
+
+void VerifyReport::Merge(VerifyReport other) {
+  for (InvariantCheck& check : other.checks_) {
+    checks_.push_back(std::move(check));
+  }
+}
+
+bool VerifyReport::AllPassed() const {
+  for (const InvariantCheck& check : checks_) {
+    if (!check.passed) return false;
+  }
+  return true;
+}
+
+const InvariantCheck* VerifyReport::Find(std::string_view name) const {
+  for (const InvariantCheck& check : checks_) {
+    if (check.name == name) return &check;
+  }
+  return nullptr;
+}
+
+const InvariantCheck* VerifyReport::FirstFailure() const {
+  for (const InvariantCheck& check : checks_) {
+    if (!check.passed) return &check;
+  }
+  return nullptr;
+}
+
+obs::JsonValue VerifyReport::ToJson() const {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("schema", "tkc.verify.v1").Set("passed", AllPassed());
+  obs::JsonValue checks = obs::JsonValue::Array();
+  for (const InvariantCheck& check : checks_) checks.Push(check.ToJson());
+  doc.Set("checks", std::move(checks));
+  return doc;
+}
+
+InvariantCheck Pass(std::string name, std::string detail) {
+  InvariantCheck check;
+  check.name = std::move(name);
+  check.detail = std::move(detail);
+  return check;
+}
+
+InvariantCheck Fail(std::string name, std::string detail, Counterexample ce) {
+  InvariantCheck check;
+  check.name = std::move(name);
+  check.passed = false;
+  check.detail = std::move(detail);
+  check.counterexample = std::move(ce);
+  return check;
+}
+
+void CheckOrDie(const InvariantCheck& check, const char* where) {
+  if (check.passed) return;
+  std::string ce;
+  if (check.counterexample.has_value()) {
+    ce = check.counterexample->ToJson().Dump();
+  }
+  std::fprintf(stderr,
+               "TKC_VERIFY failed in %s: invariant '%s' violated (%s) %s\n",
+               where, check.name.c_str(), check.detail.c_str(), ce.c_str());
+  std::abort();
+}
+
+void CheckOrDie(const VerifyReport& report, const char* where) {
+  const InvariantCheck* failure = report.FirstFailure();
+  if (failure != nullptr) CheckOrDie(*failure, where);
+}
+
+}  // namespace tkc::verify

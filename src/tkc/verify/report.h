@@ -1,0 +1,81 @@
+#ifndef TKC_VERIFY_REPORT_H_
+#define TKC_VERIFY_REPORT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tkc/graph/graph.h"
+#include "tkc/obs/json.h"
+
+namespace tkc::verify {
+
+/// Minimal counterexample pinpointing where an invariant broke. Fields that
+/// do not apply to a given check keep their sentinel/zero defaults and are
+/// elided from the JSON form.
+struct Counterexample {
+  EdgeId edge = kInvalidEdge;     // offending edge id
+  VertexId u = kInvalidVertex;    // endpoints (or the offending vertex in u)
+  VertexId v = kInvalidVertex;
+  uint32_t level = 0;             // κ level / step index the violation is at
+  uint64_t observed = 0;          // what the recount actually found
+  uint64_t expected = 0;          // what the invariant requires
+  std::string note;               // one-line human description
+
+  /// {"edge":..,"u":..,"v":..,"level":..,"observed":..,"expected":..,
+  ///  "note":".."} with sentinel-valued fields elided.
+  obs::JsonValue ToJson() const;
+};
+
+/// Outcome of one invariant oracle. `name` follows the metric naming
+/// convention (dotted lower_snake, e.g. "kappa.soundness").
+struct InvariantCheck {
+  std::string name;
+  bool passed = true;
+  std::string detail;  // scope summary: edges scanned, levels covered, ...
+  std::optional<Counterexample> counterexample;
+
+  obs::JsonValue ToJson() const;
+};
+
+/// Aggregated result of a verification run: the per-invariant verdicts in
+/// execution order, serializable as a `tkc.verify.v1` document. Adding a
+/// check bumps the `verify.checks_run` / `verify.checks_failed` counters so
+/// metrics artifacts show how much oracle work ran.
+class VerifyReport {
+ public:
+  void Add(InvariantCheck check);
+  /// Moves every check of `other` into this report.
+  void Merge(VerifyReport other);
+
+  bool AllPassed() const;
+  const std::vector<InvariantCheck>& checks() const { return checks_; }
+  /// First check with this name, or nullptr.
+  const InvariantCheck* Find(std::string_view name) const;
+  /// First failed check, or nullptr when all passed.
+  const InvariantCheck* FirstFailure() const;
+
+  /// {"schema":"tkc.verify.v1","passed":..,"checks":[..]}. Callers may
+  /// append context members (graph provenance, timings) afterwards.
+  obs::JsonValue ToJson() const;
+
+ private:
+  std::vector<InvariantCheck> checks_;
+};
+
+/// Helper for building a passing check with a scope summary.
+InvariantCheck Pass(std::string name, std::string detail);
+/// Helper for building a failing check.
+InvariantCheck Fail(std::string name, std::string detail, Counterexample ce);
+
+/// Aborts with the check's counterexample on stderr when it failed — the
+/// TKC_VERIFY_L1/L2 hooks route through this so a violated invariant dies
+/// loudly at the mutation that introduced it instead of corrupting results.
+void CheckOrDie(const InvariantCheck& check, const char* where);
+void CheckOrDie(const VerifyReport& report, const char* where);
+
+}  // namespace tkc::verify
+
+#endif  // TKC_VERIFY_REPORT_H_

@@ -1,0 +1,198 @@
+#include "tkc/verify/structural.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tkc::verify {
+
+namespace {
+
+std::string ScopeDetail(size_t vertices, size_t edges) {
+  return "vertices=" + std::to_string(vertices) +
+         " edges=" + std::to_string(edges);
+}
+
+// Audits one adjacency list: strictly sorted by neighbor, no self-entries,
+// every edge id live with endpoints {v, neighbor}. GraphT is Graph or
+// CsrGraph. Returns true when clean; fills `ce` otherwise.
+template <typename GraphT>
+bool AuditAdjacency(const GraphT& g, VertexId v, Counterexample* ce) {
+  VertexId prev = kInvalidVertex;
+  bool first = true;
+  for (const Neighbor& n : g.Neighbors(v)) {
+    if (n.vertex == v) {
+      *ce = {n.edge, v, n.vertex, 0, 0, 0, "self-entry in adjacency list"};
+      return false;
+    }
+    if (!first && n.vertex <= prev) {
+      *ce = {n.edge, v, n.vertex, 0, n.vertex, prev,
+             "adjacency list not strictly sorted (observed neighbor <= "
+             "previous neighbor)"};
+      return false;
+    }
+    prev = n.vertex;
+    first = false;
+    if (!g.IsEdgeAlive(n.edge)) {
+      *ce = {n.edge, v, n.vertex, 0, 0, 1,
+             "adjacency entry references a dead edge id"};
+      return false;
+    }
+    Edge e = g.GetEdge(n.edge);
+    if (e.u != std::min(v, n.vertex) || e.v != std::max(v, n.vertex)) {
+      *ce = {n.edge, v, n.vertex, 0, 0, 0,
+             "edge-table endpoints disagree with the adjacency entry"};
+      return false;
+    }
+  }
+  return true;
+}
+
+// Linear (sortedness-independent) probe: does `v`'s list hold an entry for
+// `w` with edge id `e`?
+template <typename GraphT>
+bool HasReverseEntry(const GraphT& g, VertexId v, VertexId w, EdgeId e) {
+  for (const Neighbor& n : g.Neighbors(v)) {
+    if (n.vertex == w && n.edge == e) return true;
+  }
+  return false;
+}
+
+template <typename GraphT>
+InvariantCheck CheckStructureImpl(const GraphT& g, const char* name) {
+  const VertexId num_vertices = g.NumVertices();
+  const std::string detail = ScopeDetail(num_vertices, g.NumEdges());
+  Counterexample ce;
+
+  size_t total_entries = 0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (!AuditAdjacency(g, v, &ce)) return Fail(name, detail, ce);
+    total_entries += g.Degree(v);
+    for (const Neighbor& n : g.Neighbors(v)) {
+      if (n.vertex >= num_vertices) {
+        return Fail(name, detail,
+                    {n.edge, v, n.vertex, 0, n.vertex, num_vertices,
+                     "neighbor id out of range"});
+      }
+      if (!HasReverseEntry(g, n.vertex, v, n.edge)) {
+        return Fail(name, detail,
+                    {n.edge, v, n.vertex, 0, 0, 1,
+                     "asymmetric adjacency: reverse entry missing or "
+                     "carrying a different edge id"});
+      }
+    }
+  }
+  if (total_entries != 2 * g.NumEdges()) {
+    return Fail(name, detail,
+                {kInvalidEdge, kInvalidVertex, kInvalidVertex, 0,
+                 total_entries, 2 * g.NumEdges(),
+                 "total adjacency entries != 2 * live edges"});
+  }
+
+  // Edge-table side: every live edge is normalized, in range, and present
+  // in both endpoint lists with its own id.
+  size_t live = 0;
+  Counterexample edge_ce;
+  bool edges_ok = true;
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    ++live;
+    if (!edges_ok) return;
+    if (edge.u >= edge.v || edge.v >= num_vertices) {
+      edge_ce = {e, edge.u, edge.v, 0, 0, 0,
+                 "edge endpoints not normalized (u < v) or out of range"};
+      edges_ok = false;
+      return;
+    }
+    if (!HasReverseEntry(g, edge.u, edge.v, e) ||
+        !HasReverseEntry(g, edge.v, edge.u, e)) {
+      edge_ce = {e, edge.u, edge.v, 0, 0, 1,
+                 "live edge missing from an endpoint's adjacency list"};
+      edges_ok = false;
+    }
+  });
+  if (!edges_ok) return Fail(name, detail, edge_ce);
+  if (live != g.NumEdges()) {
+    return Fail(name, detail,
+                {kInvalidEdge, kInvalidVertex, kInvalidVertex, 0, live,
+                 g.NumEdges(), "live-edge count drifted from NumEdges()"});
+  }
+  return Pass(name, detail);
+}
+
+}  // namespace
+
+InvariantCheck CheckGraphStructure(const Graph& g) {
+  return CheckStructureImpl(g, "graph.structure");
+}
+
+InvariantCheck CheckCsrStructure(const CsrGraph& g) {
+  return CheckStructureImpl(g, "csr.structure");
+}
+
+InvariantCheck CheckMirrorConsistency(const Graph& g, const CsrGraph& csr) {
+  const char* name = "csr.mirror";
+  const std::string detail = ScopeDetail(g.NumVertices(), g.NumEdges());
+  if (csr.NumVertices() != g.NumVertices()) {
+    return Fail(name, detail,
+                {kInvalidEdge, kInvalidVertex, kInvalidVertex, 0,
+                 csr.NumVertices(), g.NumVertices(),
+                 "vertex counts disagree"});
+  }
+  if (csr.NumEdges() != g.NumEdges()) {
+    return Fail(name, detail,
+                {kInvalidEdge, kInvalidVertex, kInvalidVertex, 0,
+                 csr.NumEdges(), g.NumEdges(), "edge counts disagree"});
+  }
+  if (csr.EdgeCapacity() != g.EdgeCapacity()) {
+    return Fail(name, detail,
+                {kInvalidEdge, kInvalidVertex, kInvalidVertex, 0,
+                 csr.EdgeCapacity(), g.EdgeCapacity(),
+                 "edge-id capacities disagree"});
+  }
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto& dyn = g.Neighbors(v);
+    CsrGraph::NeighborSpan snap = csr.Neighbors(v);
+    if (dyn.size() != snap.size()) {
+      return Fail(name, detail,
+                  {kInvalidEdge, v, kInvalidVertex, 0, snap.size(),
+                   dyn.size(), "degrees disagree"});
+    }
+    for (size_t i = 0; i < dyn.size(); ++i) {
+      if (dyn[i].vertex != snap[i].vertex || dyn[i].edge != snap[i].edge) {
+        return Fail(name, detail,
+                    {dyn[i].edge, v, dyn[i].vertex, 0, snap[i].vertex,
+                     dyn[i].vertex,
+                     "adjacency sequences diverge (vertex or edge id)"});
+      }
+    }
+  }
+  for (EdgeId e = 0; e < g.EdgeCapacity(); ++e) {
+    if (g.IsEdgeAlive(e) != csr.IsEdgeAlive(e)) {
+      return Fail(name, detail,
+                  {e, kInvalidVertex, kInvalidVertex, 0, csr.IsEdgeAlive(e),
+                   g.IsEdgeAlive(e), "edge liveness disagrees"});
+    }
+    if (g.IsEdgeAlive(e) && !(g.GetEdge(e) == csr.GetEdge(e))) {
+      Edge a = g.GetEdge(e);
+      return Fail(name, detail,
+                  {e, a.u, a.v, 0, 0, 0, "edge endpoints disagree"});
+    }
+  }
+  return Pass(name, detail);
+}
+
+InvariantCheck CheckEdgeLocality(const Graph& g, VertexId u, VertexId v) {
+  const char* name = "graph.locality";
+  std::string detail = "u=" + std::to_string(u) + " v=" + std::to_string(v);
+  Counterexample ce;
+  for (VertexId x : {u, v}) {
+    if (x >= g.NumVertices()) {
+      return Fail(name, detail,
+                  {kInvalidEdge, x, kInvalidVertex, 0, x, g.NumVertices(),
+                   "vertex id out of range after mutation"});
+    }
+    if (!AuditAdjacency(g, x, &ce)) return Fail(name, detail, ce);
+  }
+  return Pass(name, std::move(detail));
+}
+
+}  // namespace tkc::verify

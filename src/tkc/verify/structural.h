@@ -1,0 +1,39 @@
+#ifndef TKC_VERIFY_STRUCTURAL_H_
+#define TKC_VERIFY_STRUCTURAL_H_
+
+#include "tkc/graph/csr.h"
+#include "tkc/graph/graph.h"
+#include "tkc/verify/report.h"
+
+namespace tkc::verify {
+
+/// Structural-integrity oracles for the graph substrate. All of them work
+/// through the public read API only and re-derive every property naively,
+/// so a corrupted container is caught rather than trusted.
+
+/// Full audit of a dynamic Graph ("graph.structure"): every adjacency list
+/// strictly sorted by neighbor with no self-entries, every entry's edge id
+/// live with matching normalized endpoints, adjacency symmetric (the
+/// reverse entry exists and carries the same edge id), the edge table
+/// consistent with the lists, and the live-edge count exact. O(|V| + |E|
+/// log |E|).
+InvariantCheck CheckGraphStructure(const Graph& g);
+
+/// Same audit for a frozen CSR snapshot ("csr.structure").
+InvariantCheck CheckCsrStructure(const CsrGraph& g);
+
+/// Mirror-consistency oracle ("csr.mirror"): the snapshot agrees with its
+/// source graph on vertex count, live edges, edge capacity, per-vertex
+/// adjacency sequences (including edge ids), and the per-id edge table.
+InvariantCheck CheckMirrorConsistency(const Graph& g, const CsrGraph& csr);
+
+/// Cheap post-mutation boundary check ("graph.locality"): audits only the
+/// two adjacency lists a mutation of {u,v} touched — sortedness, no
+/// self-entries, and live edge ids with matching endpoints. O(deg(u) +
+/// deg(v)); this is the TKC_CHECK_LEVEL=1 hook inside Graph::AddEdge /
+/// RemoveEdgeById.
+InvariantCheck CheckEdgeLocality(const Graph& g, VertexId u, VertexId v);
+
+}  // namespace tkc::verify
+
+#endif  // TKC_VERIFY_STRUCTURAL_H_

@@ -200,6 +200,57 @@ TEST_F(CliTest, UpdateRejectsBadEvents) {
   EXPECT_EQ(RunTool({"update", edges_path_, events_path}, &out, &err), 2);
 }
 
+TEST_F(CliTest, VerifyCleanGraphPasses) {
+  std::string out;
+  ASSERT_EQ(RunTool({"verify", edges_path_}, &out), 0);
+  EXPECT_NE(out.find("PASS  kappa.soundness"), std::string::npos);
+  EXPECT_NE(out.find("PASS  kappa.maximality"), std::string::npos);
+  EXPECT_NE(out.find("passed=yes"), std::string::npos);
+  EXPECT_EQ(out.find("FAIL"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyWritesVerifyV1Artifact) {
+  std::string json_path = TempPath("cli_verify.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"verify", edges_path_, "--json-out=" + json_path,
+                 "--mode=store"},
+                &out),
+            0);
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"schema\": \"tkc.verify.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"passed\": true"), std::string::npos);
+  EXPECT_NE(json.find("kappa.maximality"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyWithEventsRunsReplay) {
+  std::string events_path = TempPath("cli_verify_events.txt");
+  {
+    std::ofstream ev(events_path);
+    ev << "+ 0 3\n- 0 1\n+ 0 1\n";
+  }
+  std::string out;
+  ASSERT_EQ(RunTool({"verify", edges_path_, "--events=" + events_path,
+                 "--check-every=2"},
+                &out),
+            0);
+  EXPECT_NE(out.find("PASS  dynamic.replay"), std::string::npos);
+  EXPECT_NE(out.find("passed=yes"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyRejectsBadFlags) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"verify", edges_path_, "--mode=never"}, &out, &err), 2);
+  EXPECT_EQ(RunTool({"verify", edges_path_, "--check-every=0"}, &out, &err),
+            2);
+  EXPECT_EQ(RunTool({"verify", edges_path_, "--events=/no/such/file"}, &out,
+                &err),
+            2);
+}
+
 TEST_F(CliTest, TemplatesNewForm) {
   // old: 5 isolated vertices; new: the K5 over them.
   std::string old_path = TempPath("cli_old.txt");

@@ -31,16 +31,47 @@ TEST(EdgeListTest, SkipsCommentsAndBlanks) {
 
 TEST(EdgeListTest, DropsSelfLoopsAndDuplicates) {
   std::stringstream in("0 0\n0 1\n1 0\n0 1\n");
-  auto g = ReadEdgeList(in);
+  EdgeListStats stats;
+  auto g = ReadEdgeList(in, &stats);
   ASSERT_TRUE(g.has_value());
   EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.duplicate_edges, 2u);  // "1 0" reversed + "0 1" repeat
+  EXPECT_EQ(stats.edges_added, 1u);
+  EXPECT_EQ(stats.Skipped(), 3u);
 }
 
-TEST(EdgeListTest, RejectsMalformed) {
-  std::stringstream bad("0 x\n");
-  EXPECT_FALSE(ReadEdgeList(bad).has_value());
-  std::stringstream negative("-1 2\n");
-  EXPECT_FALSE(ReadEdgeList(negative).has_value());
+TEST(EdgeListTest, SkipsMalformedRowsWithCount) {
+  // One bad row must not discard the dataset: non-numeric, negative, and
+  // truncated lines are skipped and tallied, the clean rows load.
+  std::stringstream in("0 x\n-1 2\n3\n0 1\n1 2\n");
+  EdgeListStats stats;
+  auto g = ReadEdgeList(in, &stats);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 2u);
+  EXPECT_EQ(stats.malformed_lines, 3u);
+  EXPECT_EQ(stats.edges_added, 2u);
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.Skipped(), 3u);
+}
+
+TEST(EdgeListTest, SkipsOutOfRangeVertexIds) {
+  std::stringstream in("0 4294967295\n0 1\n");  // kInvalidVertex is reserved
+  EdgeListStats stats;
+  auto g = ReadEdgeList(in, &stats);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->NumEdges(), 1u);
+  EXPECT_EQ(stats.malformed_lines, 1u);
+}
+
+TEST(EdgeListTest, StatsCountCommentsAndBlanks) {
+  std::stringstream in("# header\n\n% pajek\n0 1\n");
+  EdgeListStats stats;
+  auto g = ReadEdgeList(in, &stats);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(stats.Skipped(), 0u);
+  EXPECT_EQ(stats.edges_added, 1u);
 }
 
 TEST(EdgeListTest, FileRoundTrip) {

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Sanitizer smoke run: configure, build, and drive the tier-1 test suite
-# under AddressSanitizer and/or ThreadSanitizer via the TKC_SANITIZE CMake
-# option. TSan is the gate for the parallel kernels (support counting and
-# the DN-Graph sweeps); ASan covers the rest of the read path.
+# under AddressSanitizer, ThreadSanitizer, and/or UndefinedBehaviorSanitizer
+# via the TKC_SANITIZE CMake option. TSan is the gate for the parallel
+# kernels (support counting and the DN-Graph sweeps); ASan covers the rest
+# of the read path; UBSan (with -fno-sanitize-recover=all) turns any
+# overflow/shift/alignment slip in the peel or the dynamic cascades into a
+# hard test failure. This script is the single entry point CI uses for its
+# sanitizer matrix legs.
 #
-# usage: tools/sanitize_smoke.sh [address|thread|all]   (default: all)
+# usage: tools/sanitize_smoke.sh [address|thread|undefined|all]  (default: all)
 
 set -euo pipefail
 
@@ -20,20 +24,22 @@ run_one() {
   echo "== $sanitizer: build =="
   cmake --build "$build_dir" -j "$(nproc)" >/dev/null
   echo "== $sanitizer: ctest =="
-  (cd "$build_dir" && ctest --output-on-failure)
+  (cd "$build_dir" && UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --output-on-failure)
   echo "== $sanitizer: OK =="
 }
 
 case "$mode" in
-  address|thread)
+  address|thread|undefined)
     run_one "$mode"
     ;;
   all)
     run_one address
     run_one thread
+    run_one undefined
     ;;
   *)
-    echo "usage: $0 [address|thread|all]" >&2
+    echo "usage: $0 [address|thread|undefined|all]" >&2
     exit 2
     ;;
 esac
