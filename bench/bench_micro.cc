@@ -20,6 +20,7 @@
 #include "tkc/baselines/dn_graph.h"
 #include "tkc/core/analysis_context.h"
 #include "tkc/core/dynamic_core.h"
+#include "tkc/core/parallel_peel.h"
 #include "tkc/core/triangle_core.h"
 #include "tkc/gen/generators.h"
 #include "tkc/graph/csr.h"
@@ -77,6 +78,21 @@ void BM_SupportCount_Csr(benchmark::State& state) {
 }
 BENCHMARK(BM_SupportCount_Csr)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Full-adjacency reference pass — the pre-oriented kernel. The gap between
+// this and BM_SupportCount_Csr is the payoff of the degree-ordered
+// orientation + hybrid intersection.
+void BM_SupportCount_CsrFull(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  CsrGraph csr(g);
+  for (auto _ : state) {
+    std::vector<uint32_t> support = ComputeEdgeSupportsFullScan(csr);
+    benchmark::DoNotOptimize(support.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr.NumEdges()));
+}
+BENCHMARK(BM_SupportCount_CsrFull)->Arg(1000)->Arg(10000)->Arg(50000);
+
 void BM_SupportCount_CsrParallel(benchmark::State& state) {
   Graph g = MakeGraph(state.range(0));
   CsrGraph csr(g);
@@ -127,6 +143,41 @@ void BM_TriangleCorePeel_Recompute(benchmark::State& state) {
                           static_cast<int64_t>(g.NumEdges()));
 }
 BENCHMARK(BM_TriangleCorePeel_Recompute)->Arg(1000)->Arg(10000)->Arg(50000);
+
+// Peel-phase split: both peel benches pre-force the context's support cache
+// so the loop times *only* the peel (the support phase is measured by the
+// BM_SupportCount_* family above).
+void BM_Peel_Serial(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  AnalysisContext ctx(g, /*threads=*/1);
+  ctx.Supports();
+  for (auto _ : state) {
+    auto r = ComputeTriangleCores(ctx, TriangleStorageMode::kRecomputeTriangles);
+    benchmark::DoNotOptimize(r.max_kappa);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_Peel_Serial)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Peel_RoundSync(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  AnalysisContext ctx(g, threads);
+  ctx.Supports();
+  for (auto _ : state) {
+    auto r = ComputeTriangleCoresParallel(ctx);
+    benchmark::DoNotOptimize(r.max_kappa);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.NumEdges()));
+}
+BENCHMARK(BM_Peel_RoundSync)
+    ->Args({1000, 4})
+    ->Args({10000, 4})
+    ->Args({50000, 1})
+    ->Args({50000, 2})
+    ->Args({50000, 4});
 
 void BM_DynamicInsertDelete(benchmark::State& state) {
   Graph g = MakeGraph(state.range(0));

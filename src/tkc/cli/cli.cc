@@ -11,6 +11,7 @@
 #include "tkc/core/analysis_context.h"
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/hierarchy.h"
+#include "tkc/core/parallel_peel.h"
 #include "tkc/core/triangle_core.h"
 #include "tkc/gen/generators.h"
 #include "tkc/graph/kcore.h"
@@ -101,12 +102,17 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
                                  : TriangleStorageMode::kRecomputeTriangles;
   Timer t;
   AnalysisContext ctx(*g);
-  TriangleCoreResult r = ComputeTriangleCores(ctx, mode);
+  // With more than one worker, peel with the round-synchronous parallel
+  // formulation — κ output is bit-identical to the serial bucket peel.
+  const bool parallel = ctx.threads() > 1;
+  TriangleCoreResult r = parallel ? ComputeTriangleCoresParallel(ctx)
+                                  : ComputeTriangleCores(ctx, mode);
   double seconds = t.Seconds();
   obs::Logger::Global().Info("decompose.done",
                              {{"edges", g->NumEdges()},
                               {"triangles", r.triangle_count},
                               {"max_kappa", r.max_kappa},
+                              {"peel", parallel ? "parallel" : "serial"},
                               {"seconds", seconds}});
   out << "# u v kappa co_clique_size\n";
   ctx.csr().ForEachEdge([&](EdgeId e, const Edge& edge) {

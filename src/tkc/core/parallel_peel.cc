@@ -1,0 +1,219 @@
+#include "tkc/core/parallel_peel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "tkc/core/analysis_context.h"
+#include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
+#include "tkc/util/check.h"
+#include "tkc/util/parallel.h"
+
+#if TKC_CHECK_LEVEL >= 2
+#include "tkc/verify/certificate.h"
+#endif
+
+namespace tkc {
+
+namespace {
+
+// Edge lifecycle within the round loop. `state` is written only between
+// rounds (or by the finalize pass, each edge by exactly one owner), and the
+// pool's fork/join barriers order those writes before the next round's
+// reads — workers never mutate it mid-round, which keeps the round
+// processing TSan-clean without atomics on the state array.
+enum : uint8_t {
+  kAlive = 0,     // not yet reached the current level
+  kFrontier = 1,  // peeling in the round being processed
+  kPeeled = 2,    // κ assigned in an earlier round/level
+};
+
+// Atomically lowers support[target] by one, clamped at the current level k
+// (an edge that reached k peels at k — further losses cannot lower κ). The
+// successful k+1 → k transition is unique per edge, so pushing to the
+// caller's next-frontier buffer exactly there inserts each edge exactly
+// once, with no revisit flag needed.
+uint64_t Decrement(std::atomic<uint32_t>* support, EdgeId target, uint32_t k,
+                   std::vector<EdgeId>& next) {
+  uint32_t cur = support[target].load(std::memory_order_relaxed);
+  while (cur > k) {
+    if (support[target].compare_exchange_weak(cur, cur - 1,
+                                              std::memory_order_relaxed)) {
+      if (cur == k + 1) next.push_back(target);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
+                                        std::vector<uint32_t> initial_support,
+                                        int threads) {
+  TKC_SPAN("core.decompose_parallel");
+  threads = ResolveThreads(threads);
+  const size_t cap = g.EdgeCapacity();
+
+  TriangleCoreResult result;
+  result.kappa.assign(cap, 0);
+  result.order.assign(cap, kInvalidOrder);
+
+  // κ̃ lives in an atomic array for the CAS decrements; dead edge ids keep
+  // support 0 and state kPeeled so no rule ever touches them.
+  auto support = std::make_unique<std::atomic<uint32_t>[]>(cap);
+  std::vector<uint8_t> state(cap, kPeeled);
+  uint64_t total_support = 0;
+  size_t remaining = 0;
+  for (EdgeId e = 0; e < cap; ++e) {
+    support[e].store(initial_support[e], std::memory_order_relaxed);
+    if (g.IsEdgeAlive(e)) {
+      state[e] = kAlive;
+      total_support += initial_support[e];
+      ++remaining;
+    }
+  }
+  result.triangle_count = total_support / 3;
+  result.peel_sequence.reserve(remaining);
+
+  auto& registry = obs::MetricsRegistry::Global();
+  auto& rounds_hist = registry.GetHistogram("peel.rounds");
+  auto& frontier_hist = registry.GetHistogram("peel.frontier_edges");
+
+  const size_t workers = static_cast<size_t>(std::max(threads, 1));
+  std::vector<std::vector<EdgeId>> buffers(workers);
+  std::vector<EdgeId> frontier;
+  uint32_t next_order = 0;
+  uint64_t relaxations = 0;
+
+  // Unpeeled edges, ascending; compacted once per level so later levels
+  // scan only what is left instead of the whole edge-id space.
+  std::vector<EdgeId> pending;
+  pending.reserve(remaining);
+  for (EdgeId e = 0; e < cap; ++e) {
+    if (state[e] == kAlive) pending.push_back(e);
+  }
+
+  // Dispatching the pool for a handful of edges costs more than the round;
+  // below this frontier size the round runs inline on the calling thread.
+  constexpr size_t kSerialRoundCutoff = 2048;
+
+  TKC_SPAN("peel");
+  while (remaining > 0) {
+    // Level skip: compact out the edges the last level peeled and find the
+    // smallest remaining support — every clamp so far was at a lower
+    // floor, so no unpeeled edge sits below it.
+    size_t kept = 0;
+    uint32_t k = std::numeric_limits<uint32_t>::max();
+    for (EdgeId e : pending) {
+      if (state[e] == kPeeled) continue;
+      pending[kept++] = e;
+      k = std::min(k, support[e].load(std::memory_order_relaxed));
+    }
+    pending.resize(kept);
+    result.max_kappa = k;
+
+    // Initial frontier of level k (ascending, since pending is).
+    frontier.clear();
+    for (EdgeId e : pending) {
+      if (support[e].load(std::memory_order_relaxed) <= k) {
+        frontier.push_back(e);
+      }
+    }
+
+    uint64_t rounds = 0;
+    while (!frontier.empty()) {
+      ++rounds;
+      frontier_hist.Observe(frontier.size());
+      for (EdgeId e : frontier) state[e] = kFrontier;
+
+      // One round: every frontier edge scans its triangles. A triangle
+      // with a peeled partner was already settled; with both partners in
+      // this frontier it dies with no survivor to relax; with exactly one
+      // partner in the frontier, the lower-id frontier edge relaxes the
+      // survivor (the other would double-count it); with no partner in the
+      // frontier, the peeling edge relaxes both.
+      std::vector<uint64_t> worker_relax(workers, 0);
+      const int round_threads =
+          frontier.size() < kSerialRoundCutoff ? 1 : threads;
+      ParallelFor(round_threads, frontier.size(),
+                  [&](int worker, size_t begin, size_t end) {
+        auto& next = buffers[static_cast<size_t>(worker)];
+        uint64_t& relax = worker_relax[static_cast<size_t>(worker)];
+        for (size_t i = begin; i < end; ++i) {
+          const EdgeId e = frontier[i];
+          const Edge edge = g.GetEdge(e);
+          g.ForEachCommonNeighbor(
+              edge.u, edge.v, [&](VertexId, EdgeId p1, EdgeId p2) {
+                const uint8_t s1 = state[p1];
+                const uint8_t s2 = state[p2];
+                if (s1 == kPeeled || s2 == kPeeled) return;
+                if (s1 == kFrontier && s2 == kFrontier) return;
+                if (s1 == kFrontier) {
+                  if (e < p1) relax += Decrement(support.get(), p2, k, next);
+                } else if (s2 == kFrontier) {
+                  if (e < p2) relax += Decrement(support.get(), p1, k, next);
+                } else {
+                  relax += Decrement(support.get(), p1, k, next);
+                  relax += Decrement(support.get(), p2, k, next);
+                }
+              });
+        }
+      });
+      for (uint64_t r : worker_relax) relaxations += r;
+
+      // Finalize the round (frontier is id-ascending, so order and
+      // peel_sequence are identical for every thread count).
+      for (EdgeId e : frontier) {
+        state[e] = kPeeled;
+        result.kappa[e] = k;
+        result.order[e] = next_order++;
+        result.peel_sequence.push_back(e);
+      }
+      remaining -= frontier.size();
+
+      frontier.clear();
+      for (auto& buf : buffers) {
+        frontier.insert(frontier.end(), buf.begin(), buf.end());
+        buf.clear();
+      }
+      std::sort(frontier.begin(), frontier.end());
+    }
+    rounds_hist.Observe(rounds);
+  }
+
+  TKC_SPAN_COUNTER("edges_peeled", result.peel_sequence.size());
+  TKC_SPAN_COUNTER("support_relaxations", relaxations);
+  registry.GetCounter("core.peel.edges_peeled")
+      .Add(result.peel_sequence.size());
+  registry.GetCounter("core.peel.support_relaxations").Add(relaxations);
+  registry.GetGauge("core.peel.max_kappa").Set(result.max_kappa);
+  return result;
+}
+
+}  // namespace
+
+TriangleCoreResult ComputeTriangleCoresParallel(const CsrGraph& g,
+                                                int threads) {
+  threads = ResolveThreads(threads);
+  TriangleCoreResult result =
+      PeelRoundSynchronous(g, ComputeEdgeSupports(g, threads), threads);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(g, result.kappa),
+      "ComputeTriangleCoresParallel(CsrGraph)"));
+  return result;
+}
+
+TriangleCoreResult ComputeTriangleCoresParallel(const AnalysisContext& ctx) {
+  TriangleCoreResult result =
+      PeelRoundSynchronous(ctx.csr(), ctx.Supports(), ctx.threads());
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(ctx.csr(), result.kappa),
+      "ComputeTriangleCoresParallel(AnalysisContext)"));
+  return result;
+}
+
+}  // namespace tkc

@@ -1,6 +1,7 @@
 #include "tkc/graph/csr.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "tkc/graph/triangle.h"
 #include "tkc/util/check.h"
@@ -25,10 +26,39 @@ CsrGraph::CsrGraph(const Graph& g) {
   edge_capacity_ = g.EdgeCapacity();
   edges_.assign(edge_capacity_, Edge{});
   g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
+  BuildOrientedView();
   TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckCsrStructure(*this),
                                    "CsrGraph::CsrGraph"));
   TKC_VERIFY_L2(verify::CheckOrDie(verify::CheckMirrorConsistency(g, *this),
                                    "CsrGraph::CsrGraph"));
+}
+
+void CsrGraph::BuildOrientedView() {
+  const VertexId n = NumVertices();
+  rank_.resize(n);
+  std::vector<VertexId> by_rank(n);
+  std::iota(by_rank.begin(), by_rank.end(), VertexId{0});
+  std::sort(by_rank.begin(), by_rank.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = Degree(a), db = Degree(b);
+    return da != db ? da < db : a < b;
+  });
+  for (VertexId i = 0; i < n; ++i) rank_[by_rank[i]] = i;
+
+  oriented_offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    size_t out = 0;
+    for (const Neighbor& nb : Neighbors(v)) out += rank_[nb.vertex] > rank_[v];
+    oriented_offsets_[v + 1] = oriented_offsets_[v] + out;
+  }
+  oriented_entries_.resize(oriented_offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    // The full list is sorted by vertex id; filtering preserves that, so
+    // out-lists intersect by plain merge on the same key.
+    Neighbor* out = oriented_entries_.data() + oriented_offsets_[v];
+    for (const Neighbor& nb : Neighbors(v)) {
+      if (rank_[nb.vertex] > rank_[v]) *out++ = nb;
+    }
+  }
 }
 
 EdgeId CsrGraph::FindEdge(VertexId u, VertexId v) const {

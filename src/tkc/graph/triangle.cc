@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tkc/graph/intersect.h"
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
 #include "tkc/util/parallel.h"
@@ -10,29 +11,75 @@ namespace tkc {
 
 namespace {
 
-// Work proxy for one enumeration pass: intersecting the endpoint adjacency
-// lists of edge {u,v} costs (at most) the smaller degree in wedge probes.
-template <typename GraphT>
-uint64_t WedgeWork(const GraphT& g) {
-  uint64_t wedges = 0;
-  g.ForEachEdge([&](EdgeId, const Edge& e) {
-    wedges += std::min(g.Degree(e.u), g.Degree(e.v));
-  });
-  return wedges;
-}
-
 // Shared counters for every triangle-enumeration pass, whichever layer
 // runs it (see docs/observability.md for the naming scheme).
-void RecordEnumeration(uint64_t wedges, uint64_t triangles) {
+// `triangle.wedges_examined` is the *actual* intersection work the pass
+// performed — merge iterations plus gallop probes — not the old
+// min-degree upper bound, so the value stays comparable between the
+// full-adjacency and oriented enumeration modes.
+void RecordEnumeration(const IntersectStats& stats, uint64_t triangles) {
   auto& registry = obs::MetricsRegistry::Global();
   static obs::Counter& wedge_counter =
       registry.GetCounter("triangle.wedges_examined");
+  static obs::Counter& merge_counter =
+      registry.GetCounter("triangle.merge_steps");
+  static obs::Counter& gallop_counter =
+      registry.GetCounter("triangle.gallop_probes");
   static obs::Counter& triangle_counter =
       registry.GetCounter("triangle.triangles_found");
-  wedge_counter.Add(wedges);
+  wedge_counter.Add(stats.Total());
+  merge_counter.Add(stats.merge_steps);
+  gallop_counter.Add(stats.gallop_probes);
   triangle_counter.Add(triangles);
-  TKC_SPAN_COUNTER("wedges_examined", wedges);
+  TKC_SPAN_COUNTER("wedges_examined", stats.Total());
   TKC_SPAN_COUNTER("triangles_found", triangles);
+}
+
+// Counted sorted-merge over the full adjacency of {u, v}: invokes
+// fn(w, uw_edge, vw_edge) per common neighbor and returns the number of
+// merge iterations actually spent. GraphT is Graph or CsrGraph.
+template <typename GraphT, typename Fn>
+uint64_t MergeCommonNeighbors(const GraphT& g, VertexId u, VertexId v,
+                              Fn&& fn) {
+  const auto& a = g.Neighbors(u);
+  const auto& b = g.Neighbors(v);
+  size_t i = 0, j = 0;
+  uint64_t steps = 0;
+  while (i < a.size() && j < b.size()) {
+    ++steps;
+    if (a[i].vertex < b[j].vertex) {
+      ++i;
+    } else if (a[i].vertex > b[j].vertex) {
+      ++j;
+    } else {
+      fn(a[i].vertex, a[i].edge, b[j].edge);
+      ++i;
+      ++j;
+    }
+  }
+  return steps;
+}
+
+// Oriented support pass over the edge-id range [begin, end): each triangle
+// is discovered exactly once, at the edge joining its two lowest-rank
+// vertices, by a hybrid intersection of the endpoints' out-lists. Support
+// increments land at arbitrary edge ids, so callers that parallelize this
+// give each worker a full-size `support` shard.
+void OrientedSupportRange(const CsrGraph& g, EdgeId begin, EdgeId end,
+                          uint32_t* support, IntersectStats& stats,
+                          uint64_t& triangles) {
+  for (EdgeId e = begin; e < end; ++e) {
+    if (!g.IsEdgeAlive(e)) continue;
+    const Edge oe = g.OrientedEdge(e);
+    IntersectSortedHybrid(g.OutNeighborsBegin(oe.u), g.OutNeighborsEnd(oe.u),
+                          g.OutNeighborsBegin(oe.v), g.OutNeighborsEnd(oe.v),
+                          stats, [&](VertexId, EdgeId aw, EdgeId bw) {
+                            ++support[e];
+                            ++support[aw];
+                            ++support[bw];
+                            ++triangles;
+                          });
+  }
 }
 
 }  // namespace
@@ -46,13 +93,18 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
   TKC_SPAN("triangle.supports");
   std::vector<uint32_t> support(g.EdgeCapacity(), 0);
   uint64_t triangles = 0;
-  ForEachTriangle(g, [&](const Triangle& t) {
-    ++support[t.ab];
-    ++support[t.ac];
-    ++support[t.bc];
-    ++triangles;
+  IntersectStats stats;
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    stats.merge_steps += MergeCommonNeighbors(
+        g, edge.u, edge.v, [&](VertexId w, EdgeId uw, EdgeId vw) {
+          if (w <= edge.v) return;
+          ++support[e];
+          ++support[uw];
+          ++support[vw];
+          ++triangles;
+        });
   });
-  RecordEnumeration(WedgeWork(g), triangles);
+  RecordEnumeration(stats, triangles);
   return support;
 }
 
@@ -62,51 +114,32 @@ std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads) {
   const size_t cap = g.EdgeCapacity();
   std::vector<uint32_t> support(cap, 0);
   uint64_t triangles = 0;
-  uint64_t wedges = 0;
+  IntersectStats stats;
 
   if (threads <= 1 || cap == 0) {
-    g.ForEachEdge([&](EdgeId e, const Edge& edge) {
-      wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
-      g.ForEachCommonNeighbor(edge.u, edge.v,
-                              [&](VertexId w, EdgeId uw, EdgeId vw) {
-                                if (w <= edge.v) return;
-                                ++support[e];
-                                ++support[uw];
-                                ++support[vw];
-                                ++triangles;
-                              });
-    });
-    RecordEnumeration(wedges, triangles);
+    OrientedSupportRange(g, 0, static_cast<EdgeId>(cap), support.data(),
+                         stats, triangles);
+    RecordEnumeration(stats, triangles);
     return support;
   }
 
-  // Each worker owns a full-size partial-support shard and counts the
-  // triangles whose lexicographically smallest edge falls in its static
-  // chunk of the edge-id space; a second pass reduces the shards in fixed
-  // worker order. Plain uint32 additions commute exactly, so the output is
-  // identical to the serial path for any thread count.
+  // Each worker owns a full-size partial-support shard and discovers the
+  // triangles whose lowest-rank edge falls in its static chunk of the
+  // edge-id space; a second pass reduces the shards in fixed worker order.
+  // Plain uint32 additions commute exactly, so the output is identical to
+  // the serial path for any thread count.
   struct Shard {
     std::vector<uint32_t> support;
     uint64_t triangles = 0;
-    uint64_t wedges = 0;
+    IntersectStats stats;
   };
   std::vector<Shard> shards(static_cast<size_t>(threads));
   ParallelFor(threads, cap, [&](int worker, size_t begin, size_t end) {
     Shard& shard = shards[static_cast<size_t>(worker)];
     shard.support.assign(cap, 0);
-    for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
-      if (!g.IsEdgeAlive(e)) continue;
-      Edge edge = g.GetEdge(e);
-      shard.wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
-      g.ForEachCommonNeighbor(edge.u, edge.v,
-                              [&](VertexId w, EdgeId uw, EdgeId vw) {
-                                if (w <= edge.v) return;
-                                ++shard.support[e];
-                                ++shard.support[uw];
-                                ++shard.support[vw];
-                                ++shard.triangles;
-                              });
-    }
+    OrientedSupportRange(g, static_cast<EdgeId>(begin),
+                         static_cast<EdgeId>(end), shard.support.data(),
+                         shard.stats, shard.triangles);
   });
   ParallelFor(threads, cap, [&](int, size_t begin, size_t end) {
     for (size_t e = begin; e < end; ++e) {
@@ -119,17 +152,41 @@ std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads) {
   });
   for (const Shard& shard : shards) {
     triangles += shard.triangles;
-    wedges += shard.wedges;
+    stats += shard.stats;
   }
-  RecordEnumeration(wedges, triangles);
+  RecordEnumeration(stats, triangles);
+  return support;
+}
+
+std::vector<uint32_t> ComputeEdgeSupportsFullScan(const CsrGraph& g) {
+  TKC_SPAN("triangle.supports_full");
+  std::vector<uint32_t> support(g.EdgeCapacity(), 0);
+  uint64_t triangles = 0;
+  IntersectStats stats;
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    stats.merge_steps += MergeCommonNeighbors(
+        g, edge.u, edge.v, [&](VertexId w, EdgeId uw, EdgeId vw) {
+          if (w <= edge.v) return;
+          ++support[e];
+          ++support[uw];
+          ++support[vw];
+          ++triangles;
+        });
+  });
+  RecordEnumeration(stats, triangles);
   return support;
 }
 
 uint64_t CountTriangles(const Graph& g) {
   TKC_SPAN("triangle.count");
   uint64_t n = 0;
-  ForEachTriangle(g, [&](const Triangle&) { ++n; });
-  RecordEnumeration(WedgeWork(g), n);
+  IntersectStats stats;
+  g.ForEachEdge([&](EdgeId, const Edge& edge) {
+    stats.merge_steps += MergeCommonNeighbors(
+        g, edge.u, edge.v,
+        [&](VertexId w, EdgeId, EdgeId) { n += (w > edge.v); });
+  });
+  RecordEnumeration(stats, n);
   return n;
 }
 
@@ -137,39 +194,58 @@ uint64_t CountTriangles(const CsrGraph& g, int threads) {
   TKC_SPAN("triangle.count");
   threads = ResolveThreads(threads);
   const size_t cap = g.EdgeCapacity();
-  std::vector<uint64_t> partial(static_cast<size_t>(std::max(threads, 1)),
-                                0);
+  struct Partial {
+    uint64_t triangles = 0;
+    IntersectStats stats;
+  };
+  std::vector<Partial> partial(static_cast<size_t>(std::max(threads, 1)));
   ParallelFor(threads, cap, [&](int worker, size_t begin, size_t end) {
-    uint64_t local = 0;
+    Partial& p = partial[static_cast<size_t>(worker)];
     for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
       if (!g.IsEdgeAlive(e)) continue;
-      Edge edge = g.GetEdge(e);
-      g.ForEachCommonNeighbor(edge.u, edge.v,
-                              [&](VertexId w, EdgeId, EdgeId) {
-                                local += (w > edge.v);
-                              });
+      const Edge oe = g.OrientedEdge(e);
+      IntersectSortedHybrid(g.OutNeighborsBegin(oe.u),
+                            g.OutNeighborsEnd(oe.u),
+                            g.OutNeighborsBegin(oe.v),
+                            g.OutNeighborsEnd(oe.v), p.stats,
+                            [&](VertexId, EdgeId, EdgeId) { ++p.triangles; });
     }
-    partial[static_cast<size_t>(worker)] = local;
   });
   uint64_t n = 0;
-  for (uint64_t p : partial) n += p;
-  RecordEnumeration(WedgeWork(g), n);
+  IntersectStats stats;
+  for (const Partial& p : partial) {
+    n += p.triangles;
+    stats += p.stats;
+  }
+  RecordEnumeration(stats, n);
   return n;
 }
 
 std::vector<Triangle> ListTriangles(const Graph& g) {
   TKC_SPAN("triangle.list");
   std::vector<Triangle> out;
-  ForEachTriangle(g, [&](const Triangle& t) { out.push_back(t); });
-  RecordEnumeration(WedgeWork(g), out.size());
+  IntersectStats stats;
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    stats.merge_steps += MergeCommonNeighbors(
+        g, edge.u, edge.v, [&](VertexId w, EdgeId uw, EdgeId vw) {
+          if (w > edge.v) out.push_back(Triangle{edge.u, edge.v, w, e, uw, vw});
+        });
+  });
+  RecordEnumeration(stats, out.size());
   return out;
 }
 
 std::vector<Triangle> ListTriangles(const CsrGraph& g) {
   TKC_SPAN("triangle.list");
   std::vector<Triangle> out;
-  ForEachTriangle(g, [&](const Triangle& t) { out.push_back(t); });
-  RecordEnumeration(WedgeWork(g), out.size());
+  IntersectStats stats;
+  g.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    stats.merge_steps += MergeCommonNeighbors(
+        g, edge.u, edge.v, [&](VertexId w, EdgeId uw, EdgeId vw) {
+          if (w > edge.v) out.push_back(Triangle{edge.u, edge.v, w, e, uw, vw});
+        });
+  });
+  RecordEnumeration(stats, out.size());
   return out;
 }
 

@@ -33,12 +33,22 @@ uint32_t EdgeSupport(const Graph& g, EdgeId e);
 /// O(sum over edges of min-degree) — the paper's "linear in |Tri|" regime.
 std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
 
-/// The shared support kernel over a frozen CSR snapshot. `threads` follows
-/// the ResolveThreads convention (0 = process default, 1 = serial); the
-/// edge-id space is statically partitioned and per-thread partial supports
-/// are reduced in thread order, so the result is identical — bit for bit —
-/// for every thread count, and equal to the Graph overload's.
+/// The shared support kernel over a frozen CSR snapshot, running on the
+/// degree-ordered oriented view: each triangle is found exactly once at the
+/// edge joining its two lowest-rank vertices by a hybrid merge/gallop
+/// intersection of out-lists (see intersect.h), so per-edge work is bounded
+/// by the out-degrees (≤ degeneracy) instead of min full degree. `threads`
+/// follows the ResolveThreads convention (0 = process default, 1 = serial);
+/// the edge-id space is statically partitioned and per-thread partial
+/// supports are reduced in thread order, so the result is identical — bit
+/// for bit — for every thread count, and equal to the Graph overload's.
 std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads = 1);
+
+/// Reference support pass over the *full* (undirected) adjacency — the
+/// pre-oriented kernel, kept as the differential baseline for tests and the
+/// full-vs-oriented comparison in bench_micro. Output is value-identical to
+/// ComputeEdgeSupports(g, ...); only the work profile differs.
+std::vector<uint32_t> ComputeEdgeSupportsFullScan(const CsrGraph& g);
 
 /// Total number of distinct triangles in the graph.
 uint64_t CountTriangles(const Graph& g);

@@ -88,5 +88,52 @@ TEST(CsrTest, EmptyGraph) {
   EXPECT_EQ(csr.CountTriangles(), 0u);
 }
 
+TEST(CsrTest, OrientedViewRanksByDegreeThenId) {
+  // Star: leaves (degree 1) rank before the hub (degree 4), so every edge
+  // points leaf -> hub and the hub's out-list is empty.
+  Graph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.AddEdge(0, v);
+  CsrGraph csr(g);
+  EXPECT_EQ(csr.Rank(0), 4u);
+  EXPECT_EQ(csr.OutDegree(0), 0u);
+  size_t total_out = 0;
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_EQ(csr.OutDegree(v), 1u);
+    EXPECT_EQ(csr.OutNeighborsBegin(v)->vertex, 0u);
+    total_out += csr.OutDegree(v);
+  }
+  EXPECT_EQ(total_out, csr.NumEdges());
+}
+
+TEST(CsrTest, OrientedViewPartitionsAdjacency) {
+  Rng rng(17);
+  Graph g = PowerLawCluster(80, 4, 0.5, rng);
+  g.RemoveEdgeById(g.EdgeIds()[3]);  // keep a dead-id hole in play
+  CsrGraph csr(g);
+  size_t total_out = 0;
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
+    // Out-list = exactly the higher-rank neighbors, still sorted by id.
+    std::vector<Neighbor> expect;
+    for (const Neighbor& nb : csr.Neighbors(v)) {
+      if (csr.Rank(nb.vertex) > csr.Rank(v)) expect.push_back(nb);
+    }
+    ASSERT_EQ(csr.OutDegree(v), expect.size());
+    size_t i = 0;
+    for (const Neighbor& nb : csr.OutNeighbors(v)) {
+      EXPECT_EQ(nb.vertex, expect[i].vertex);
+      EXPECT_EQ(nb.edge, expect[i].edge);
+      ++i;
+    }
+    total_out += expect.size();
+  }
+  EXPECT_EQ(total_out, csr.NumEdges());  // each edge oriented exactly once
+  csr.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    const Edge oe = csr.OrientedEdge(e);
+    EXPECT_LT(csr.Rank(oe.u), csr.Rank(oe.v));
+    EXPECT_TRUE((oe.u == edge.u && oe.v == edge.v) ||
+                (oe.u == edge.v && oe.v == edge.u));
+  });
+}
+
 }  // namespace
 }  // namespace tkc

@@ -16,6 +16,7 @@
 #include "tkc/core/analysis_context.h"
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/ordered_core.h"
+#include "tkc/core/parallel_peel.h"
 #include "tkc/gen/generators.h"
 #include "tkc/util/random.h"
 #include "tkc/verify/certificate.h"
@@ -165,18 +166,21 @@ TEST(FuzzTest, RebuildEquivalenceAfterHeavyChurn) {
   });
 }
 
-// --- Differential driver: storage modes × thread counts ----------------
+// --- Differential driver: storage modes × threads × peel mode ----------
+
+enum class PeelMode { kSerial, kParallel };
 
 class DifferentialFuzzTest
-    : public ::testing::TestWithParam<std::tuple<TriangleStorageMode, int>> {
-};
+    : public ::testing::TestWithParam<
+          std::tuple<TriangleStorageMode, int, PeelMode>> {};
 
 TEST_P(DifferentialFuzzTest, SeededChurnAgainstAlgorithm1AndCertificate) {
-  const auto [mode, threads] = GetParam();
+  const auto [mode, threads, peel] = GetParam();
   // Seed folds in the parameters so each configuration walks a different
   // trajectory while staying reproducible.
   Rng rng(1000003 * (mode == TriangleStorageMode::kStoreTriangles ? 1 : 2) +
-          static_cast<uint64_t>(threads));
+          static_cast<uint64_t>(threads) +
+          (peel == PeelMode::kParallel ? 31 : 0));
   Graph base = PowerLawCluster(90, 3, 0.55, rng);
   DynamicTriangleCore dyn(base);
 
@@ -195,9 +199,11 @@ TEST_P(DifferentialFuzzTest, SeededChurnAgainstAlgorithm1AndCertificate) {
     if (step % kCheckEvery != 0 && step != kSteps) continue;
 
     // Oracle 1: Algorithm-1 recompute through the parallel CSR read path
-    // in the parameterized storage mode / thread count.
+    // in the parameterized storage mode / thread count / peel mode.
     AnalysisContext ctx(dyn.graph(), threads);
-    TriangleCoreResult fresh = ComputeTriangleCores(ctx, mode);
+    TriangleCoreResult fresh = peel == PeelMode::kParallel
+                                   ? ComputeTriangleCoresParallel(ctx)
+                                   : ComputeTriangleCores(ctx, mode);
     dyn.graph().ForEachEdge([&](EdgeId e, const Edge& edge) {
       ASSERT_EQ(dyn.kappa()[e], fresh.kappa[e])
           << "step " << step << " edge (" << edge.u << "," << edge.v << ")";
@@ -213,18 +219,22 @@ TEST_P(DifferentialFuzzTest, SeededChurnAgainstAlgorithm1AndCertificate) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    StorageModesAndThreads, DifferentialFuzzTest,
+    StorageModesThreadsAndPeel, DifferentialFuzzTest,
     ::testing::Combine(
         ::testing::Values(TriangleStorageMode::kStoreTriangles,
                           TriangleStorageMode::kRecomputeTriangles),
-        ::testing::Values(1, 4)),
+        ::testing::Values(1, 4),
+        ::testing::Values(PeelMode::kSerial, PeelMode::kParallel)),
     [](const ::testing::TestParamInfo<DifferentialFuzzTest::ParamType>&
            info) {
       std::string name =
           std::get<0>(info.param) == TriangleStorageMode::kStoreTriangles
               ? "store"
               : "recompute";
-      return name + "_t" + std::to_string(std::get<1>(info.param));
+      name += "_t" + std::to_string(std::get<1>(info.param));
+      name += std::get<2>(info.param) == PeelMode::kParallel ? "_parpeel"
+                                                             : "_serialpeel";
+      return name;
     });
 
 TEST(FuzzTest, ReplayOracleOverGeneratedEventLog) {

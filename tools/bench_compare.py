@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff two tkc.bench.v1 artifacts and flag regressions.
+
+Matches rows between a baseline and a candidate file and reports the
+relative change of each row's timing field. Rows are keyed by their stable
+identity: google-benchmark envelopes (bench_micro) use the row "name";
+table benches use the "dataset" field, comparing every *_seconds member.
+
+usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
+           [--threshold=0.20] [--fail-on-regression]
+
+Exit codes: 0 = no regression over the threshold, 1 = regressions found
+and --fail-on-regression was given, 2 = usage/parse error. Without
+--fail-on-regression the exit code is always 0/2, which is what the
+informational CI step wants: visible, not blocking — micro timings on
+shared runners are too noisy to gate merges on.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != "tkc.bench.v1":
+        sys.exit(f"error: {path}: not a tkc.bench.v1 artifact")
+    return doc
+
+
+def row_timings(row):
+    """Extracts {metric_name: seconds} from one row of either envelope."""
+    timings = {}
+    if "real_time" in row:  # google-benchmark row (time_unit, usually ns)
+        unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(
+            row.get("time_unit", "ns"), 1e-9)
+        timings["real_time"] = row["real_time"] * unit
+    for key, value in row.items():
+        if key.endswith("_seconds") and isinstance(value, (int, float)):
+            timings[key] = value
+    return timings
+
+
+def row_key(row):
+    return row.get("name") or row.get("dataset")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two tkc.bench.v1 files")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="relative slowdown that counts as a "
+                             "regression (default 0.20 = +20%%)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 if any regression exceeds the "
+                             "threshold")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cand = load(args.candidate)
+    base_rows = {row_key(r): r for r in base.get("rows", []) if row_key(r)}
+    cand_rows = {row_key(r): r for r in cand.get("rows", []) if row_key(r)}
+
+    regressions = []
+    improvements = []
+    compared = 0
+    for key in sorted(base_rows.keys() & cand_rows.keys()):
+        b, c = row_timings(base_rows[key]), row_timings(cand_rows[key])
+        for metric in sorted(b.keys() & c.keys()):
+            if b[metric] <= 0:
+                continue
+            compared += 1
+            delta = (c[metric] - b[metric]) / b[metric]
+            line = (f"{key} [{metric}]: {b[metric]*1e3:.3f}ms -> "
+                    f"{c[metric]*1e3:.3f}ms ({delta:+.1%})")
+            if delta > args.threshold:
+                regressions.append(line)
+            elif delta < -args.threshold:
+                improvements.append(line)
+
+    only_base = sorted(base_rows.keys() - cand_rows.keys())
+    only_cand = sorted(cand_rows.keys() - base_rows.keys())
+
+    print(f"compared {compared} timings across "
+          f"{len(base_rows.keys() & cand_rows.keys())} matching rows "
+          f"(threshold {args.threshold:.0%})")
+    for title, lines in (("REGRESSIONS", regressions),
+                         ("improvements", improvements)):
+        if lines:
+            print(f"\n{title} (>{args.threshold:.0%}):")
+            for line in lines:
+                print(f"  {line}")
+    if only_base:
+        print(f"\nrows only in baseline: {', '.join(only_base)}")
+    if only_cand:
+        print(f"rows only in candidate: {', '.join(only_cand)}")
+    if not regressions:
+        print("\nno regressions over threshold")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

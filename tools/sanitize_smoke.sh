@@ -26,6 +26,26 @@ run_one() {
   echo "== $sanitizer: ctest =="
   (cd "$build_dir" && UBSAN_OPTIONS="print_stacktrace=1" \
     ctest --output-on-failure)
+  echo "== $sanitizer: parallel peel CLI =="
+  # Drive the round-synchronous parallel peel through the CLI so the TSan
+  # leg exercises the concurrent frontier rounds (atomic decrements,
+  # per-thread next buffers) on a real generated graph, not just the unit
+  # tests' small shapes.
+  local smoke_dir
+  smoke_dir="$(mktemp -d)"
+  "$build_dir/tools/tkc" generate plc --out="$smoke_dir/g.txt" \
+    --n=2000 --m=4 --seed=7
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
+    > "$smoke_dir/kappa_par.txt"
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=1 \
+    > "$smoke_dir/kappa_ser.txt"
+  # The trailing summary line embeds wall time; compare κ rows only.
+  if ! diff <(grep -v '^#' "$smoke_dir/kappa_par.txt") \
+            <(grep -v '^#' "$smoke_dir/kappa_ser.txt"); then
+    echo "!! parallel peel kappa differs from serial" >&2
+    exit 1
+  fi
+  rm -rf "$smoke_dir"
   echo "== $sanitizer: OK =="
 }
 
