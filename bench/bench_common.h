@@ -15,6 +15,7 @@
 #include "tkc/graph/triangle.h"
 #include "tkc/obs/json.h"
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/obs/trace.h"
 #include "tkc/util/parallel.h"
 #include "tkc/util/timer.h"
@@ -26,19 +27,21 @@ namespace tkc::bench {
 ///   --quick            shorthand for --size-factor=0.05 (smoke run)
 ///   --seed=<n>         base RNG seed (default 2012, the paper's year)
 ///   --json-out=<file>  also write a machine-readable result artifact
+///   --trace-out=<file> record a Chrome-trace timeline of the run
 ///   --threads=<n>      workers for the parallel kernels (0 = hardware
 ///                      default, 1 = serial; results are identical)
 struct BenchConfig {
   double size_factor = 1.0;
   uint64_t seed = 2012;
   std::string json_out;
+  std::string trace_out;
   int threads = 0;
 };
 
 inline void PrintBenchUsage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--size-factor=F] [--quick] [--seed=N] "
-               "[--json-out=FILE] [--threads=N]\n",
+               "[--json-out=FILE] [--trace-out=FILE] [--threads=N]\n",
                argv0);
 }
 
@@ -56,6 +59,8 @@ inline BenchConfig ParseArgs(int argc, char** argv) {
       cfg.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--json-out=", 11) == 0) {
       cfg.json_out = arg + 11;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      cfg.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       cfg.threads = std::atoi(arg + 10);
       if (cfg.threads < 0) {
@@ -146,6 +151,11 @@ class BenchReporter {
     // records the worker count the run actually used.
     obs::MetricsRegistry::Global().GetGauge("tkc.threads")
         .Set(DefaultThreads());
+    if (!cfg_.trace_out.empty()) {
+      obs::TimelineRecorder::Global().Start();
+    } else {
+      obs::TimelineRecorder::Global().Reset();
+    }
   }
 
   /// Appends one result row (typically one per dataset/table line).
@@ -156,9 +166,19 @@ class BenchReporter {
     notes_.Set(key, std::move(value));
   }
 
-  /// Writes the artifact if --json-out was given. Returns `code` so benches
-  /// can end with `return report.Finish(0);`.
+  /// Writes the artifacts --json-out / --trace-out asked for. Returns
+  /// `code` so benches can end with `return report.Finish(0);`.
   int Finish(int code = 0) {
+    if (!cfg_.trace_out.empty()) {
+      if (obs::WriteTraceArtifact(cfg_.trace_out, "bench", bench_name_,
+                                  code)) {
+        std::printf("wrote %s\n", cfg_.trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     cfg_.trace_out.c_str());
+        if (code == 0) code = 2;
+      }
+    }
     if (cfg_.json_out.empty()) return code;
     obs::JsonValue doc = obs::JsonValue::Object();
     doc.Set("schema", "tkc.bench.v1")

@@ -15,6 +15,7 @@
 
 #include "tkc/obs/json.h"
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/obs/trace.h"
 
 #include "tkc/baselines/dn_graph.h"
@@ -289,16 +290,20 @@ int WriteBenchEnvelope(const std::string& raw_path,
 // binary shares one machine-readable interface.
 int main(int argc, char** argv) {
   std::string json_out;
+  std::string trace_out;
   std::vector<std::string> args;
   args.reserve(static_cast<size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     std::string_view arg(argv[i]);
     constexpr std::string_view kJsonOut = "--json-out=";
+    constexpr std::string_view kTraceOut = "--trace-out=";
     constexpr std::string_view kThreads = "--threads=";
     if (arg.substr(0, kJsonOut.size()) == kJsonOut) {
       json_out = std::string(arg.substr(kJsonOut.size()));
       args.emplace_back("--benchmark_out=" + json_out + ".raw");
       args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.substr(0, kTraceOut.size()) == kTraceOut) {
+      trace_out = std::string(arg.substr(kTraceOut.size()));
     } else if (arg.substr(0, kThreads.size()) == kThreads) {
       int threads = std::atoi(std::string(arg.substr(kThreads.size())).c_str());
       tkc::SetDefaultThreads(threads == 0 ? tkc::HardwareThreads() : threads);
@@ -306,6 +311,7 @@ int main(int argc, char** argv) {
       args.emplace_back(arg);
     }
   }
+  if (!trace_out.empty()) tkc::obs::TimelineRecorder::Global().Start();
   std::vector<char*> argv2;
   argv2.reserve(args.size());
   for (std::string& a : args) argv2.push_back(a.data());
@@ -314,6 +320,16 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (!json_out.empty()) return WriteBenchEnvelope(json_out + ".raw", json_out);
-  return 0;
+  int code = 0;
+  if (!json_out.empty()) code = WriteBenchEnvelope(json_out + ".raw", json_out);
+  if (!trace_out.empty()) {
+    if (tkc::obs::WriteTraceArtifact(trace_out, "bench", "bench_micro",
+                                     code)) {
+      std::printf("wrote %s\n", trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write '%s'\n", trace_out.c_str());
+      if (code == 0) code = 2;
+    }
+  }
+  return code;
 }

@@ -20,6 +20,7 @@
 #include "tkc/obs/json.h"
 #include "tkc/obs/log.h"
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/obs/trace.h"
 #include "tkc/patterns/patterns.h"
 #include "tkc/util/parallel.h"
@@ -414,8 +415,14 @@ void PrintUsage(std::ostream& err) {
          "            [--n=N] [--m=M] [--p=P] [--seed=S]\n"
          "global flags (any command):\n"
          "  --log-level=error|warn|info|debug   structured logs on stderr\n"
+         "  --log-timestamps                    prefix log lines with "
+         "monotonic seconds\n"
          "  --metrics-out=FILE                  write metrics + phase-trace "
          "JSON\n"
+         "  --trace-out=FILE                    write Chrome-trace timeline "
+         "JSON\n"
+         "                                      (open in chrome://tracing "
+         "or Perfetto)\n"
          "  --threads=N                         worker threads for the "
          "parallel kernels\n"
          "                                      (0 = all hardware threads; "
@@ -426,9 +433,9 @@ void PrintUsage(std::ostream& err) {
 
 namespace {
 
-// Flags each subcommand accepts, beyond the global --log-level and
-// --metrics-out. A flag outside this list is a usage error, not a typo to
-// ignore silently.
+// Flags each subcommand accepts, beyond the global observability flags
+// (--log-level, --log-timestamps, --metrics-out, --trace-out, --threads).
+// A flag outside this list is a usage error, not a typo to ignore silently.
 bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
                 std::ostream& err) {
   static const std::map<std::string, std::vector<std::string>> kAllowed = {
@@ -445,7 +452,8 @@ bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
   auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return true;  // unknown command: handled later
   for (const auto& [key, value] : parsed.flags) {
-    if (key == "log-level" || key == "metrics-out" || key == "threads") {
+    if (key == "log-level" || key == "log-timestamps" ||
+        key == "metrics-out" || key == "trace-out" || key == "threads") {
       continue;
     }
     if (std::find(it->second.begin(), it->second.end(), key) ==
@@ -497,6 +505,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   obs::Logger& logger = obs::Logger::Global();
   logger.SetSink(&err);
   logger.SetLevel(obs::LogLevel::kWarn);
+  // Off unless requested, and reset per invocation so golden-output tests
+  // (and embedders) keep byte-stable logs by default.
+  logger.SetTimestamps(parsed.flags.count("log-timestamps") > 0);
   const std::string level_text = parsed.Flag("log-level", "");
   if (!level_text.empty()) {
     auto level = obs::ParseLogLevel(level_text);
@@ -507,11 +518,18 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     logger.SetLevel(*level);
   }
   const std::string metrics_out = parsed.Flag("metrics-out", "");
+  const std::string trace_out = parsed.Flag("trace-out", "");
 
   // Fresh counters and trace per invocation so a --metrics-out dump
-  // describes exactly this command.
+  // describes exactly this command. The timeline recorder only runs when a
+  // --trace-out destination exists (recording otherwise buys nothing).
   obs::MetricsRegistry::Global().Reset();
   obs::PhaseTracer::Global().Reset();
+  if (!trace_out.empty()) {
+    obs::TimelineRecorder::Global().Start();
+  } else {
+    obs::TimelineRecorder::Global().Reset();
+  }
 
   // Worker count for the parallel kernels; set after the registry reset so
   // the tkc.threads gauge survives into the dump. 0 = hardware default.
@@ -544,6 +562,13 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
       return 2;
     }
     logger.Info("metrics.written", {{"path", metrics_out}});
+  }
+  if (!trace_out.empty()) {
+    if (!obs::WriteTraceArtifact(trace_out, "command", cmd, code)) {
+      err << "error: cannot write trace to '" << trace_out << "'\n";
+      return 2;
+    }
+    logger.Info("trace.written", {{"path", trace_out}});
   }
   return code;
 }

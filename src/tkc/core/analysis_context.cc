@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/perf_counters.h"
 #include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
 #include "tkc/util/parallel.h"
@@ -19,7 +20,7 @@ AnalysisContext::AnalysisContext(CsrGraph csr, int threads)
 const std::vector<uint32_t>& AnalysisContext::Supports() const {
   std::lock_guard<std::mutex> lock(mu_);
   if (!supports_.has_value()) {
-    TKC_SPAN("support_count");
+    TKC_SPAN_PERF("support_count");
     obs::MetricsRegistry::Global()
         .GetCounter("analysis.support_computations")
         .Add(1);

@@ -9,7 +9,10 @@
 
 #include "tkc/core/analysis_context.h"
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/mem.h"
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/perf_counters.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
 #include "tkc/util/parallel.h"
@@ -54,7 +57,7 @@ uint64_t Decrement(std::atomic<uint32_t>* support, EdgeId target, uint32_t k,
 TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
                                         std::vector<uint32_t> initial_support,
                                         int threads) {
-  TKC_SPAN("core.decompose_parallel");
+  TKC_SPAN_MEM("core.decompose_parallel");
   threads = ResolveThreads(threads);
   const size_t cap = g.EdgeCapacity();
 
@@ -101,7 +104,7 @@ TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
   // below this frontier size the round runs inline on the calling thread.
   constexpr size_t kSerialRoundCutoff = 2048;
 
-  TKC_SPAN("peel");
+  TKC_SPAN_PERF("peel");
   while (remaining > 0) {
     // Level skip: compact out the edges the last level peeled and find the
     // smallest remaining support — every clamp so far was at a lower
@@ -127,6 +130,12 @@ TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
     uint64_t rounds = 0;
     while (!frontier.empty()) {
       ++rounds;
+      // Coordinator-side timeline slice for the whole round; worker-side
+      // "peel.chunk" slices below nest visually under it in the trace.
+      obs::TimelineScope round_scope("peel.round");
+      round_scope.AddArg("level", k);
+      round_scope.AddArg("round", rounds);
+      round_scope.AddArg("frontier", frontier.size());
       frontier_hist.Observe(frontier.size());
       for (EdgeId e : frontier) state[e] = kFrontier;
 
@@ -141,6 +150,10 @@ TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
           frontier.size() < kSerialRoundCutoff ? 1 : threads;
       ParallelFor(round_threads, frontier.size(),
                   [&](int worker, size_t begin, size_t end) {
+        obs::TimelineScope chunk_scope("peel.chunk");
+        chunk_scope.AddArg("level", k);
+        chunk_scope.AddArg("round", rounds);
+        chunk_scope.AddArg("edges", end - begin);
         auto& next = buffers[static_cast<size_t>(worker)];
         uint64_t& relax = worker_relax[static_cast<size_t>(worker)];
         for (size_t i = begin; i < end; ++i) {

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 
 #include "tkc/util/check.h"
@@ -79,6 +81,16 @@ void Logger::Log(LogLevel level, std::string_view event,
   if (!ShouldLog(level)) return;
   std::string line;
   line.reserve(64);
+  if (timestamps_) {
+    static const auto start = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "ts=%.6f ", seconds);
+    line += buf;
+  }
   line += "level=";
   line += LogLevelName(level);
   line += " event=";

@@ -51,6 +51,11 @@ class Logger {
   void SetSink(std::ostream* sink) { sink_ = sink; }
   void SetLevel(LogLevel level) { level_ = level; }
   LogLevel level() const { return level_; }
+  /// When on, each line is prefixed with `ts=<monotonic seconds>` (six
+  /// decimal places, measured from process start). Off by default so log
+  /// output stays byte-stable for golden tests.
+  void SetTimestamps(bool enabled) { timestamps_ = enabled; }
+  bool timestamps() const { return timestamps_; }
   bool ShouldLog(LogLevel level) const {
     return sink_ != nullptr && static_cast<int>(level) <= static_cast<int>(level_);
   }
@@ -81,6 +86,7 @@ class Logger {
  private:
   std::ostream* sink_;
   LogLevel level_;
+  bool timestamps_ = false;
 };
 
 }  // namespace tkc::obs

@@ -83,6 +83,7 @@ JsonValue Histogram::ToJson() const {
       .Set("max", Max())
       .Set("mean", Mean())
       .Set("p50", Quantile(0.5))
+      .Set("p90", Quantile(0.9))
       .Set("p99", Quantile(0.99));
   JsonValue buckets = JsonValue::Array();
   for (int i = 0; i < kBuckets; ++i) {

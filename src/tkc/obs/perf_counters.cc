@@ -1,0 +1,169 @@
+#include "tkc/obs/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define TKC_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define TKC_HAVE_PERF_EVENT 0
+#endif
+
+namespace tkc::obs {
+
+namespace {
+
+struct CounterSpec {
+  const char* name;
+  uint32_t type;
+  uint64_t config;
+};
+
+#if TKC_HAVE_PERF_EVENT
+constexpr CounterSpec kCounters[] = {
+    {"cycles", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {"instructions", PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {"cache_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"branch_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+};
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case EPERM: return "EPERM";
+    case EACCES: return "EACCES";
+    case ENOSYS: return "ENOSYS";
+    case ENOENT: return "ENOENT";
+    case ENODEV: return "ENODEV";
+    case EOPNOTSUPP: return "EOPNOTSUPP";
+    case EBUSY: return "EBUSY";
+    case EMFILE: return "EMFILE";
+    default: return "errno";
+  }
+}
+
+int OpenCounter(const CounterSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = spec.type;
+  attr.size = sizeof(attr);
+  attr.config = spec.config;
+  attr.disabled = 0;  // runs from open; spans read deltas
+  attr.exclude_kernel = 1;  // user-space only: works at perf_event_paranoid=2
+  attr.exclude_hv = 1;
+  attr.inherit = 0;  // this thread only — one group per thread
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, /*group_fd=*/-1, /*flags=*/0));
+}
+#else
+constexpr CounterSpec kCounters[] = {
+    {"cycles", 0, 0},
+    {"instructions", 0, 0},
+    {"cache_misses", 0, 0},
+    {"branch_misses", 0, 0},
+};
+#endif  // TKC_HAVE_PERF_EVENT
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup() {
+#if TKC_HAVE_PERF_EVENT
+  int first_errno = 0;
+  for (int i = 0; i < kNumCounters; ++i) {
+    errno = 0;
+    fds_[i] = OpenCounter(kCounters[i]);
+    if (fds_[i] >= 0) {
+      counter_mask_ |= 1u << i;
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  available_ = counter_mask_ != 0;
+  if (!available_) {
+    reason_ = std::string(ErrnoName(first_errno)) +
+              ": perf_event_open failed (" +
+              std::strerror(first_errno) + ")";
+  }
+#else
+  reason_ = "unsupported-platform: perf_event_open requires Linux";
+#endif
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+#if TKC_HAVE_PERF_EVENT
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+#endif
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (!available_) return sample;
+#if TKC_HAVE_PERF_EVENT
+  uint64_t values[kNumCounters] = {0, 0, 0, 0};
+  for (int i = 0; i < kNumCounters; ++i) {
+    if (fds_[i] < 0) continue;
+    uint64_t v = 0;
+    if (read(fds_[i], &v, sizeof(v)) == sizeof(v)) values[i] = v;
+  }
+  sample.available = true;
+  sample.cycles = values[0];
+  sample.instructions = values[1];
+  sample.cache_misses = values[2];
+  sample.branch_misses = values[3];
+#endif
+  return sample;
+}
+
+PerfCounterGroup& ThreadPerfCounters() {
+  thread_local PerfCounterGroup group;
+  return group;
+}
+
+namespace {
+
+// The process-wide availability verdict is the main thread's first probe;
+// worker threads opening later get their own groups but share the answer
+// (the kernel policy that decides is process-global anyway).
+struct PerfProbe {
+  bool available;
+  std::string reason;
+  unsigned mask;
+};
+
+const PerfProbe& Probe() {
+  static const PerfProbe* probe = [] {
+    const PerfCounterGroup& group = ThreadPerfCounters();
+    return new PerfProbe{group.available(), group.unavailable_reason(),
+                         group.counter_mask()};
+  }();
+  return *probe;
+}
+
+}  // namespace
+
+bool PerfCountersAvailable() { return Probe().available; }
+
+const std::string& PerfUnavailableReason() { return Probe().reason; }
+
+JsonValue PerfAvailabilityJson() {
+  const PerfProbe& probe = Probe();
+  JsonValue out = JsonValue::Object();
+  out.Set("available", probe.available);
+  if (!probe.available) {
+    out.Set("reason", probe.reason);
+    return out;
+  }
+  JsonValue names = JsonValue::Array();
+  for (int i = 0; i < 4; ++i) {
+    if ((probe.mask & (1u << i)) != 0) names.Push(kCounters[i].name);
+  }
+  out.Set("counters", std::move(names));
+  return out;
+}
+
+}  // namespace tkc::obs

@@ -1,0 +1,114 @@
+#ifndef TKC_OBS_PERF_COUNTERS_H_
+#define TKC_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tkc/obs/json.h"
+#include "tkc/obs/trace.h"
+
+namespace tkc::obs {
+
+/// One reading of the hardware counter group. `available` is false when no
+/// counter could be opened (the struct is then all zeros). Individual
+/// counters a PMU lacks read as zero — check the per-counter open mask via
+/// PerfCounterGroup::counter_mask() when that distinction matters.
+struct PerfSample {
+  bool available = false;
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branch_misses = 0;
+};
+
+/// Wraps `perf_event_open` for the calling thread: cycles, instructions,
+/// cache-misses, branch-misses, each opened independently so a PMU missing
+/// one event still yields the rest. Construction probes the syscall;
+/// whenever it is unavailable (EPERM under perf_event_paranoid or seccomp,
+/// ENOSYS in minimal containers, non-Linux builds) the group degrades to a
+/// no-op whose `unavailable_reason()` explains why — callers never need a
+/// platform #ifdef. Counters run from construction; Read() returns
+/// cumulative values, so spans attach deltas between two reads.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// True when at least one hardware counter opened.
+  bool available() const { return available_; }
+  /// Why nothing opened ("" while available()).
+  const std::string& unavailable_reason() const { return reason_; }
+  /// Bit i set when counter i of {cycles, instructions, cache_misses,
+  /// branch_misses} opened.
+  unsigned counter_mask() const { return counter_mask_; }
+
+  /// Cumulative counts since construction (all zeros when unavailable).
+  PerfSample Read() const;
+
+ private:
+  static constexpr int kNumCounters = 4;
+  int fds_[kNumCounters] = {-1, -1, -1, -1};
+  bool available_ = false;
+  unsigned counter_mask_ = 0;
+  std::string reason_;
+};
+
+/// Process-wide availability probe; the first call opens (and keeps) the
+/// calling thread's group, later calls are cached. Safe to call anywhere.
+bool PerfCountersAvailable();
+/// "" when available, else the reason recorded by the probe.
+const std::string& PerfUnavailableReason();
+/// {"available":bool[,"reason":...][,"counters":[names...]]} — the block
+/// every trace artifact embeds so a counter-less CI run is an explained
+/// no-op, not a silent absence.
+JsonValue PerfAvailabilityJson();
+
+/// The calling thread's long-lived counter group (opened on first use).
+PerfCounterGroup& ThreadPerfCounters();
+
+/// TKC_SPAN plus hardware-counter deltas: on scope exit the cycles /
+/// instructions / cache-miss / branch-miss deltas are attached to the
+/// aggregated span node (as span counters) and to the timeline slice (as
+/// args). Degrades to a plain TKC_SPAN when counters are unavailable.
+class ScopedPerfSpan {
+ public:
+  ScopedPerfSpan(PhaseTracer& tracer, std::string_view name)
+      : span_(tracer, name), start_(ThreadPerfCounters().Read()) {}
+
+  ~ScopedPerfSpan() {
+    if (!start_.available) return;
+    const PerfSample end = ThreadPerfCounters().Read();
+    Attach("cycles", end.cycles - start_.cycles);
+    Attach("instructions", end.instructions - start_.instructions);
+    Attach("cache_misses", end.cache_misses - start_.cache_misses);
+    Attach("branch_misses", end.branch_misses - start_.branch_misses);
+  }
+
+  ScopedPerfSpan(const ScopedPerfSpan&) = delete;
+  ScopedPerfSpan& operator=(const ScopedPerfSpan&) = delete;
+
+ private:
+  void Attach(std::string_view key, uint64_t delta) {
+    if (span_.node() != nullptr) span_.node()->AddCounter(key, delta);
+    span_.AddTimelineArg(key, delta);
+  }
+
+  ScopedSpan span_;
+  PerfSample start_;
+};
+
+}  // namespace tkc::obs
+
+#if defined(TKC_DISABLE_TRACING)
+#define TKC_SPAN_PERF(name)
+#else
+/// Opens a phase span that also attaches hardware-counter deltas.
+#define TKC_SPAN_PERF(name)                                            \
+  ::tkc::obs::ScopedPerfSpan TKC_SPAN_CONCAT(tkc_perf_span_, __LINE__)( \
+      ::tkc::obs::PhaseTracer::Global(), name)
+#endif
+
+#endif  // TKC_OBS_PERF_COUNTERS_H_

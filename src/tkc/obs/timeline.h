@@ -1,0 +1,170 @@
+#ifndef TKC_OBS_TIMELINE_H_
+#define TKC_OBS_TIMELINE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tkc/obs/json.h"
+
+namespace tkc::obs {
+
+/// One completed timeline slice. Fixed-size POD so recording is a plain
+/// struct copy into a preallocated per-thread buffer — no allocation, no
+/// locking, no pointer chasing on the hot path. Names and arg keys longer
+/// than the inline capacity are truncated (they are code literals; keep
+/// them short).
+struct TimelineEvent {
+  static constexpr size_t kNameCapacity = 48;
+  static constexpr size_t kMaxArgs = 6;
+
+  struct Arg {
+    char key[16];
+    uint64_t value;
+  };
+
+  char name[kNameCapacity];
+  uint64_t start_ns;  // relative to the recording session's Start()
+  uint64_t dur_ns;
+  uint32_t num_args;
+  Arg args[kMaxArgs];
+};
+
+/// Records timestamped begin/end slices into bounded per-thread buffers and
+/// exports them as Chrome-trace JSON (the `tkc.trace.v1` wrapper; loadable
+/// in chrome://tracing and https://ui.perfetto.dev). Disabled by default:
+/// when no session is active every Record/TimelineScope costs one relaxed
+/// atomic load. The CLI's `--trace-out=FILE` and the bench reporters start
+/// a session per invocation.
+///
+/// Each recording thread owns one track: a fixed-capacity event vector it
+/// alone appends to (events past the capacity are counted as dropped, never
+/// reallocated). Worker threads are named via SetTimelineThreadName (the
+/// ThreadPool registers "pool.worker-N"); unnamed threads record as "main".
+/// Export must happen after the recorded work quiesced (the pool's
+/// fork/join barrier provides the happens-before edge; Stop() then ToJson()
+/// is the intended sequence).
+class TimelineRecorder {
+ public:
+  static constexpr size_t kDefaultCapacityPerThread = size_t{1} << 16;
+
+  /// Begins a session: drops previous tracks, re-arms the epoch, enables
+  /// recording. `capacity_per_thread` bounds each track's event count.
+  void Start(size_t capacity_per_thread = kDefaultCapacityPerThread);
+  /// Disables recording; recorded tracks stay readable until Reset/Start.
+  void Stop();
+  /// Stops and drops all tracks.
+  void Reset();
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire);
+  }
+
+  /// Nanoseconds since the current session's Start() (steady clock).
+  uint64_t NowNs() const;
+
+  /// Appends one complete slice to the calling thread's track. No-op when
+  /// no session is active. `num_args` beyond TimelineEvent::kMaxArgs is
+  /// clamped.
+  void Record(std::string_view name, uint64_t start_ns, uint64_t dur_ns,
+              const TimelineEvent::Arg* args = nullptr, size_t num_args = 0);
+
+  /// Total events dropped across all tracks because a buffer filled up.
+  uint64_t DroppedEvents() const;
+  /// Number of tracks (threads that recorded at least one event attempt).
+  size_t NumTracks() const;
+  /// Total events currently buffered across all tracks.
+  size_t NumEvents() const;
+
+  /// Sets `clock`, `capacity_per_thread`, `dropped_events`, `tracks`, and
+  /// `traceEvents` on `doc`. Track ids are assigned deterministically:
+  /// "main" is tid 0, the remaining tracks follow in (length, name) order,
+  /// so worker-2 sorts before worker-10 and ids are stable across runs.
+  void AppendTo(JsonValue& doc) const;
+
+  /// Convenience: `{"schema":"tkc.trace.v1", ...AppendTo fields...}`.
+  JsonValue ToJson() const;
+
+  /// Process-wide recorder used by TKC_SPAN / TimelineScope.
+  static TimelineRecorder& Global();
+
+ private:
+  struct ThreadTrack {
+    std::string name;
+    std::vector<TimelineEvent> events;  // reserved once, never reallocated
+    uint64_t dropped = 0;
+  };
+
+  ThreadTrack* TrackForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> session_{0};
+  uint64_t epoch_ns_ = 0;  // steady-clock ns at Start()
+  size_t capacity_per_thread_ = kDefaultCapacityPerThread;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+};
+
+/// Names the calling thread's timeline track (applies to tracks created
+/// after the call). The ThreadPool uses this for its workers; the default
+/// is "main".
+void SetTimelineThreadName(std::string name);
+
+/// RAII complete-event scope writing only to the timeline — safe on worker
+/// threads, where the single-threaded PhaseTracer must not be touched.
+/// Args added via AddArg are attached to the emitted event.
+class TimelineScope {
+ public:
+  explicit TimelineScope(std::string_view name)
+      : on_(TimelineRecorder::Global().enabled()) {
+    if (!on_) return;
+    size_t n = std::min(name.size(), sizeof(name_) - 1);
+    std::memcpy(name_, name.data(), n);
+    name_[n] = '\0';
+    start_ns_ = TimelineRecorder::Global().NowNs();
+  }
+
+  ~TimelineScope() {
+    if (!on_) return;
+    TimelineRecorder& recorder = TimelineRecorder::Global();
+    recorder.Record(name_, start_ns_, recorder.NowNs() - start_ns_, args_,
+                    num_args_);
+  }
+
+  TimelineScope(const TimelineScope&) = delete;
+  TimelineScope& operator=(const TimelineScope&) = delete;
+
+  void AddArg(std::string_view key, uint64_t value) {
+    if (!on_ || num_args_ >= TimelineEvent::kMaxArgs) return;
+    TimelineEvent::Arg& arg = args_[num_args_++];
+    size_t n = std::min(key.size(), sizeof(arg.key) - 1);
+    std::memcpy(arg.key, key.data(), n);
+    arg.key[n] = '\0';
+    arg.value = value;
+  }
+
+ private:
+  const bool on_;
+  uint64_t start_ns_ = 0;
+  uint32_t num_args_ = 0;
+  char name_[TimelineEvent::kNameCapacity];
+  TimelineEvent::Arg args_[TimelineEvent::kMaxArgs];
+};
+
+/// Stops the global recorder and writes the complete `tkc.trace.v1`
+/// artifact to `path`: schema, `{source_key: source_name}`, `exit_code`,
+/// the perf-counter availability block, final peak RSS, and the timeline
+/// body. Shared by the CLI and every bench binary. Returns false when the
+/// file cannot be written.
+bool WriteTraceArtifact(const std::string& path, std::string_view source_key,
+                        std::string_view source_name, int exit_code);
+
+}  // namespace tkc::obs
+
+#endif  // TKC_OBS_TIMELINE_H_

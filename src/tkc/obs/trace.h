@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "tkc/obs/json.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/util/timer.h"
 
 namespace tkc::obs {
@@ -72,21 +73,33 @@ class PhaseTracer {
 };
 
 /// RAII span handle; prefer the TKC_SPAN macro which compiles out under
-/// TKC_DISABLE_TRACING.
+/// TKC_DISABLE_TRACING. Feeds two sinks: the aggregating PhaseTracer tree
+/// and, when a timeline session is active, a slice on the calling thread's
+/// TimelineRecorder track.
 class ScopedSpan {
  public:
   ScopedSpan(PhaseTracer& tracer, std::string_view name)
-      : tracer_(tracer), node_(tracer.Enter(name)) {}
+      : tracer_(tracer), node_(tracer.Enter(name)), timeline_(name) {}
   ~ScopedSpan() {
     if (node_ != nullptr) tracer_.Exit(node_, timer_.Seconds());
   }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// The aggregated node (nullptr when the tracer is disabled).
+  SpanNode* node() const { return node_; }
+  /// Attaches `key=value` to the timeline slice this span will emit.
+  void AddTimelineArg(std::string_view key, uint64_t value) {
+    timeline_.AddArg(key, value);
+  }
+
  private:
   PhaseTracer& tracer_;
   SpanNode* node_;
   Timer timer_;
+  // Declared last: destroyed first, so wrappers (ScopedPerfSpan,
+  // ScopedMemSpan) attach their args before the slice is emitted.
+  TimelineScope timeline_;
 };
 
 }  // namespace tkc::obs

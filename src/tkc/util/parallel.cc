@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <string>
 
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/util/check.h"
 
 namespace tkc {
@@ -54,6 +56,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerLoop(int worker) {
+  // Register the worker's timeline track name once; worker 0 is the calling
+  // thread and keeps its own name (usually "main").
+  obs::SetTimelineThreadName("pool.worker-" + std::to_string(worker));
   uint64_t seen_epoch = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
@@ -134,6 +139,10 @@ void ParallelFor(int threads, size_t n,
     const size_t end = n * (static_cast<size_t>(worker) + 1) /
                        static_cast<size_t>(chunks);
     if (begin == end) return;
+    obs::TimelineScope scope("parallel_for.chunk");
+    scope.AddArg("worker", static_cast<uint64_t>(worker));
+    scope.AddArg("begin", begin);
+    scope.AddArg("end", end);
     tls_in_parallel_for = true;
     fn(worker, begin, end);
     tls_in_parallel_for = false;

@@ -9,6 +9,7 @@
 #include "tkc/gen/generators.h"
 #include "tkc/io/edge_list.h"
 #include "tkc/obs/json.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/util/random.h"
 
 namespace tkc {
@@ -312,6 +313,102 @@ TEST_F(CliTest, GenerateAllModels) {
     ASSERT_TRUE(g.has_value()) << model;
     EXPECT_GT(g->NumEdges(), 0u) << model;
   }
+}
+
+TEST_F(CliTest, TraceOutArtifact) {
+  std::string trace_path = TempPath("cli_trace.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--threads=4",
+                 "--trace-out=" + trace_path},
+                &out),
+            0);
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->Find("schema")->Str(), "tkc.trace.v1");
+  EXPECT_EQ(doc->Find("command")->Str(), "decompose");
+  EXPECT_EQ(doc->Find("exit_code")->Number(), 0.0);
+
+  // Perf block: explicit either way — available with a counter list, or a
+  // recorded reason (CI runs without perf privileges must stay green).
+  const obs::JsonValue* perf = doc->Find("perf");
+  ASSERT_NE(perf, nullptr);
+  ASSERT_NE(perf->Find("available"), nullptr);
+  if (perf->Find("available")->Bool()) {
+    EXPECT_NE(perf->Find("counters"), nullptr);
+  } else {
+    EXPECT_FALSE(perf->Find("reason")->Str().empty());
+  }
+  ASSERT_NE(doc->FindPath("mem.alloc_tracking"), nullptr);
+
+  // Track summary: main is tid 0 and the pool contributes at least two
+  // worker tracks at --threads=4 (the support kernel fans out even on the
+  // Figure 2 graph).
+  const obs::JsonValue* tracks = doc->Find("tracks");
+  ASSERT_TRUE(tracks != nullptr && tracks->IsArray());
+  int workers_seen = 0;
+  ASSERT_FALSE(tracks->Items().empty());
+  EXPECT_EQ(tracks->Items()[0].Find("name")->Str(), "main");
+  for (const obs::JsonValue& t : tracks->Items()) {
+    if (t.Find("name")->Str().rfind("pool.worker-", 0) == 0) {
+      ++workers_seen;
+      EXPECT_GT(t.Find("events")->Number(), 0.0);
+    }
+  }
+  EXPECT_GE(workers_seen, 2);
+
+  // Chrome-trace body: per-round peel slices with level/round args and a
+  // thread_name metadata record per track.
+  const obs::JsonValue* events = doc->Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->IsArray());
+  bool saw_round = false;
+  size_t metadata = 0;
+  for (const obs::JsonValue& e : events->Items()) {
+    if (e.Find("ph")->Str() == "M") ++metadata;
+    if (e.Find("name")->Str() == "peel.round") {
+      saw_round = true;
+      EXPECT_NE(e.FindPath("args.level"), nullptr);
+      EXPECT_NE(e.FindPath("args.round"), nullptr);
+      EXPECT_NE(e.FindPath("args.frontier"), nullptr);
+    }
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_EQ(metadata, tracks->Items().size());
+
+  // Without --trace-out the recorder stays off and no stale state leaks
+  // into the next invocation.
+  ASSERT_EQ(RunTool({"decompose", edges_path_}, &out), 0);
+  EXPECT_EQ(obs::TimelineRecorder::Global().NumEvents(), 0u);
+}
+
+TEST_F(CliTest, TraceOutUnwritablePathFails) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"stats", edges_path_,
+                 "--trace-out=/no/such/dir/trace.json"},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("cannot write trace"), std::string::npos);
+}
+
+TEST_F(CliTest, LogTimestampsFlag) {
+  std::string out, err;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--log-level=info",
+                 "--log-timestamps"},
+                &out, &err),
+            0);
+  EXPECT_EQ(err.rfind("ts=", 0), 0u);
+  EXPECT_NE(err.find(" level=info event=graph.loaded"), std::string::npos);
+
+  // Default stays byte-stable: no prefix without the flag, and the setting
+  // does not leak into the next invocation.
+  err.clear();
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--log-level=info"}, &out,
+                &err),
+            0);
+  EXPECT_EQ(err.rfind("level=info", 0), 0u);
 }
 
 }  // namespace

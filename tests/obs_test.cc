@@ -1,12 +1,19 @@
 #include <cmath>
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 #include "tkc/obs/json.h"
 #include "tkc/obs/log.h"
+#include "tkc/obs/mem.h"
 #include "tkc/obs/metrics.h"
+#include "tkc/obs/perf_counters.h"
+#include "tkc/obs/timeline.h"
 #include "tkc/obs/trace.h"
+#include "tkc/util/parallel.h"
 
 namespace tkc::obs {
 namespace {
@@ -300,6 +307,219 @@ TEST(JsonTest, RegistryExportRoundTrips) {
                 ->Find("triangle.triangles_found")
                 ->Number(),
             347.0);
+}
+
+TEST(HistogramTest, ToJsonHasQuantiles) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  JsonValue j = h.ToJson();
+  ASSERT_NE(j.Find("p50"), nullptr);
+  ASSERT_NE(j.Find("p90"), nullptr);
+  ASSERT_NE(j.Find("p99"), nullptr);
+  // Log2 buckets: quantiles are bucket upper bounds, so they are ordered
+  // and within 2x of the exact rank statistic.
+  EXPECT_LE(j.Find("p50")->Number(), j.Find("p90")->Number());
+  EXPECT_LE(j.Find("p90")->Number(), j.Find("p99")->Number());
+  EXPECT_GE(j.Find("p90")->Number(), 90.0);
+  EXPECT_LE(j.Find("p90")->Number(), 128.0);
+}
+
+TEST(LogTest, TimestampsOffByDefault) {
+  std::ostringstream sink;
+  Logger logger(&sink, LogLevel::kInfo);
+  logger.Info("plain.event");
+  EXPECT_EQ(sink.str().rfind("level=info", 0), 0u);
+}
+
+TEST(LogTest, TimestampPrefixesLine) {
+  std::ostringstream sink;
+  Logger logger(&sink, LogLevel::kInfo);
+  logger.SetTimestamps(true);
+  logger.Info("stamped.event", {{"k", 1}});
+  std::string line = sink.str();
+  EXPECT_EQ(line.rfind("ts=", 0), 0u);
+  // The rest of the line keeps the untimestamped format, so substring
+  // assertions in older tests (and log scrapers) still match.
+  EXPECT_NE(line.find(" level=info event=stamped.event k=1"),
+            std::string::npos);
+  logger.SetTimestamps(false);
+  sink.str("");
+  logger.Info("plain.again");
+  EXPECT_EQ(sink.str().rfind("level=info", 0), 0u);
+}
+
+TEST(TimelineTest, DisabledRecorderRecordsNothing) {
+  TimelineRecorder recorder;
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record("ignored", 0, 10);
+  EXPECT_EQ(recorder.NumTracks(), 0u);
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+TEST(TimelineTest, RecordsCompleteEventsWithArgs) {
+  TimelineRecorder recorder;
+  recorder.Start();
+  TimelineEvent::Arg args[2] = {};
+  std::snprintf(args[0].key, sizeof(args[0].key), "level");
+  args[0].value = 3;
+  std::snprintf(args[1].key, sizeof(args[1].key), "round");
+  args[1].value = 7;
+  recorder.Record("peel.round", 100, 250, args, 2);
+  recorder.Stop();
+
+  JsonValue doc = recorder.ToJson();
+  EXPECT_EQ(doc.Find("schema")->Str(), "tkc.trace.v1");
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // One thread_name metadata record plus the slice itself.
+  ASSERT_EQ(events->Items().size(), 2u);
+  const JsonValue& slice = events->Items()[1];
+  EXPECT_EQ(slice.Find("ph")->Str(), "X");
+  EXPECT_EQ(slice.Find("name")->Str(), "peel.round");
+  EXPECT_DOUBLE_EQ(slice.Find("ts")->Number(), 0.1);   // 100ns in us
+  EXPECT_DOUBLE_EQ(slice.Find("dur")->Number(), 0.25);
+  EXPECT_EQ(slice.FindPath("args.level")->Number(), 3.0);
+  EXPECT_EQ(slice.FindPath("args.round")->Number(), 7.0);
+  recorder.Reset();
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+TEST(TimelineTest, OverflowCountsDropsInsteadOfGrowing) {
+  TimelineRecorder recorder;
+  recorder.Start(/*capacity_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) recorder.Record("e", i, 1);
+  recorder.Stop();
+  EXPECT_EQ(recorder.NumEvents(), 4u);
+  EXPECT_EQ(recorder.DroppedEvents(), 6u);
+  JsonValue doc = recorder.ToJson();
+  EXPECT_EQ(doc.Find("dropped_events")->Number(), 6.0);
+  EXPECT_EQ(doc.FindPath("tracks")->Items()[0].Find("dropped")->Number(),
+            6.0);
+}
+
+TEST(TimelineTest, ScopeIsNoOpWhileGlobalRecorderIdle) {
+  TimelineRecorder& recorder = TimelineRecorder::Global();
+  recorder.Reset();
+  {
+    TimelineScope scope("idle");
+    scope.AddArg("k", 1);
+  }
+  EXPECT_EQ(recorder.NumEvents(), 0u);
+}
+
+// Track layout must be reproducible run-to-run: same worker-thread tracks,
+// same deterministic tids, same per-track event counts. (Event *timings*
+// vary; structure must not.)
+TEST(TimelineTest, ParallelForTracksAreDeterministicAcrossRuns) {
+  constexpr int kThreads = 4;
+  constexpr size_t kItems = 64;
+  auto run_once = [&] {
+    TimelineRecorder& recorder = TimelineRecorder::Global();
+    recorder.Start();
+    ParallelFor(kThreads, kItems, [](int, size_t begin, size_t end) {
+      volatile uint64_t sink = 0;
+      for (size_t i = begin; i < end; ++i) sink += i;
+    });
+    recorder.Stop();
+    // (track name, event count) in exported tid order.
+    std::vector<std::pair<std::string, double>> layout;
+    JsonValue doc = recorder.ToJson();
+    for (const JsonValue& t : doc.Find("tracks")->Items()) {
+      layout.emplace_back(t.Find("name")->Str(),
+                          t.Find("events")->Number());
+    }
+    recorder.Reset();
+    return layout;
+  };
+
+  auto first = run_once();
+  ASSERT_EQ(first.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(first[0].first, "main");
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(first[static_cast<size_t>(w)].first,
+              "pool.worker-" + std::to_string(w));
+    // One parallel_for.chunk slice per worker.
+    EXPECT_EQ(first[static_cast<size_t>(w)].second, 1.0);
+  }
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run_once(), first) << "run " << rep;
+  }
+}
+
+TEST(PerfCountersTest, DegradesGracefullyOrReads) {
+  // Counter availability is host policy; both outcomes must be sane.
+  PerfCounterGroup& group = ThreadPerfCounters();
+  if (group.available()) {
+    EXPECT_NE(group.counter_mask(), 0u);
+    PerfSample a = group.Read();
+    volatile uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i) sink += static_cast<uint64_t>(i);
+    PerfSample b = group.Read();
+    EXPECT_TRUE(a.available);
+    EXPECT_GE(b.cycles, a.cycles);
+  } else {
+    EXPECT_FALSE(PerfCountersAvailable());
+    EXPECT_FALSE(PerfUnavailableReason().empty());
+    EXPECT_EQ(group.Read().available, false);
+  }
+  JsonValue j = PerfAvailabilityJson();
+  ASSERT_NE(j.Find("available"), nullptr);
+  if (j.Find("available")->Bool()) {
+    EXPECT_NE(j.Find("counters"), nullptr);
+  } else {
+    EXPECT_FALSE(j.Find("reason")->Str().empty());
+  }
+}
+
+TEST(PerfCountersTest, ScopedPerfSpanIsSafeEitherWay) {
+  PhaseTracer tracer;
+  {
+    ScopedPerfSpan span(tracer, "probe");
+  }
+  const SpanNode* node = tracer.root().FindChild("probe");
+  ASSERT_NE(node, nullptr);
+  if (PerfCountersAvailable()) {
+    EXPECT_FALSE(node->counters.empty());
+  } else {
+    EXPECT_TRUE(node->counters.empty());
+  }
+}
+
+TEST(MemTest, SnapshotReportsRss) {
+  MemorySnapshot snap = ReadMemorySnapshot();
+#if defined(__linux__)
+  ASSERT_TRUE(snap.available);
+  EXPECT_GT(snap.current_rss_bytes, 0u);
+  EXPECT_GE(snap.peak_rss_bytes, snap.current_rss_bytes);
+#else
+  if (!snap.available) GTEST_SKIP() << "no RSS source on this platform";
+#endif
+}
+
+TEST(MemTest, ScopedMemSpanPublishesGaugesAndSpanCounters) {
+  MemorySnapshot probe = ReadMemorySnapshot();
+  if (!probe.available) GTEST_SKIP() << "no RSS source on this platform";
+  auto& registry = MetricsRegistry::Global();
+  registry.Reset();
+  PhaseTracer tracer;
+  {
+    ScopedMemSpan span(tracer, "phase");
+    // Some visible allocation so the phase is not trivially empty.
+    std::vector<uint64_t> ballast(1 << 16, 42);
+    EXPECT_GT(ballast[123], 0u);
+  }
+  EXPECT_GT(registry.GetGauge("mem.current_rss_bytes").Value(), 0.0);
+  EXPECT_GT(registry.GetGauge("mem.peak_rss_bytes").Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("mem.phase.rss_growth_bytes").Count(), 1u);
+  const SpanNode* node = tracer.root().FindChild("phase");
+  ASSERT_NE(node, nullptr);
+  bool saw_peak = false;
+  for (const auto& [key, value] : node->counters) {
+    if (key == "rss_peak_bytes") saw_peak = value > 0;
+  }
+  EXPECT_TRUE(saw_peak);
+  // Alloc counters appear only when the cmake hook is compiled in.
+  EXPECT_EQ(ThreadAllocationStats().count > 0, AllocationCountingEnabled());
 }
 
 }  // namespace

@@ -21,32 +21,57 @@ import json
 import sys
 
 
+def fail(message):
+    """Clear diagnostic + exit 2: a bad artifact is a usage-class error,
+    never a traceback."""
+    print(f"bench_compare: error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
-    except (OSError, ValueError) as e:
-        sys.exit(f"error: cannot read {path}: {e}")
-    if doc.get("schema") != "tkc.bench.v1":
-        sys.exit(f"error: {path}: not a tkc.bench.v1 artifact")
+    except OSError as e:
+        fail(f"cannot read {path}: {e.strerror or e}")
+    except ValueError as e:
+        fail(f"{path} is not valid JSON (truncated or corrupt artifact): {e}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not a JSON object")
+    schema = doc.get("schema")
+    if schema != "tkc.bench.v1":
+        fail(f"{path}: expected schema tkc.bench.v1, found "
+             f"{schema!r} — not a bench artifact or written by an "
+             f"incompatible version")
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not all(
+            isinstance(r, dict) for r in rows):
+        fail(f"{path}: 'rows' must be a list of objects (truncated "
+             f"artifact?)")
     return doc
 
 
 def row_timings(row):
-    """Extracts {metric_name: seconds} from one row of either envelope."""
+    """Extracts {metric_name: seconds} from one row of either envelope.
+    Non-numeric values are skipped rather than crashing the diff."""
     timings = {}
-    if "real_time" in row:  # google-benchmark row (time_unit, usually ns)
+    real_time = row.get("real_time")
+    if isinstance(real_time, (int, float)) and not isinstance(
+            real_time, bool):  # google-benchmark row (time_unit, usually ns)
         unit = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}.get(
             row.get("time_unit", "ns"), 1e-9)
-        timings["real_time"] = row["real_time"] * unit
+        timings["real_time"] = real_time * unit
     for key, value in row.items():
-        if key.endswith("_seconds") and isinstance(value, (int, float)):
+        if (key.endswith("_seconds")
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)):
             timings[key] = value
     return timings
 
 
 def row_key(row):
-    return row.get("name") or row.get("dataset")
+    key = row.get("name") or row.get("dataset")
+    return key if isinstance(key, str) else None
 
 
 def main():
@@ -69,9 +94,18 @@ def main():
 
     regressions = []
     improvements = []
+    added_metrics = []
+    removed_metrics = []
     compared = 0
     for key in sorted(base_rows.keys() & cand_rows.keys()):
         b, c = row_timings(base_rows[key]), row_timings(cand_rows[key])
+        # A counter present in only one artifact is reported, not fatal —
+        # new instrumentation (or dropped instrumentation) must not break
+        # the trajectory diff.
+        for metric in sorted(c.keys() - b.keys()):
+            added_metrics.append(f"{key} [{metric}]")
+        for metric in sorted(b.keys() - c.keys()):
+            removed_metrics.append(f"{key} [{metric}]")
         for metric in sorted(b.keys() & c.keys()):
             if b[metric] <= 0:
                 continue
@@ -100,6 +134,12 @@ def main():
         print(f"\nrows only in baseline: {', '.join(only_base)}")
     if only_cand:
         print(f"rows only in candidate: {', '.join(only_cand)}")
+    if added_metrics:
+        print(f"metrics only in candidate (added): "
+              f"{', '.join(added_metrics)}")
+    if removed_metrics:
+        print(f"metrics only in baseline (removed): "
+              f"{', '.join(removed_metrics)}")
     if not regressions:
         print("\nno regressions over threshold")
 

@@ -1,11 +1,13 @@
 // Validates that a file parses as JSON under the repo's strict reader
 // (src/tkc/obs/json.h), optionally requiring top-level keys:
 //
-//   json_check FILE [--require=key ...]
+//   json_check FILE [--require=key[,key...] ...]
 //
-// Exit 0 on success, 1 on parse failure or a missing key, 2 on usage /
-// unreadable file. Used by the ctest bench-smoke entry to prove every
-// --json-out / --metrics-out artifact is machine-readable.
+// --require may repeat and each occurrence may carry a comma-separated
+// list (--require=schema,traceEvents). Exit 0 on success, 1 on parse
+// failure or a missing key, 2 on usage / unreadable file. Used by the
+// ctest smoke entries to prove every --json-out / --metrics-out /
+// --trace-out artifact is machine-readable.
 
 #include <cstdio>
 #include <cstring>
@@ -21,7 +23,14 @@ int main(int argc, char** argv) {
   std::vector<std::string> required;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--require=", 10) == 0) {
-      required.emplace_back(argv[i] + 10);
+      std::string list = argv[i] + 10;
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) required.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+      }
     } else if (path == nullptr) {
       path = argv[i];
     } else {

@@ -35,8 +35,13 @@ run_one() {
   smoke_dir="$(mktemp -d)"
   "$build_dir/tools/tkc" generate plc --out="$smoke_dir/g.txt" \
     --n=2000 --m=4 --seed=7
+  # --trace-out makes the sanitized run also exercise the timeline
+  # recorder's concurrent per-thread track registration and recording
+  # (important for the TSan leg), and proves the artifact stays valid.
   "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
-    > "$smoke_dir/kappa_par.txt"
+    --trace-out="$smoke_dir/trace.json" > "$smoke_dir/kappa_par.txt"
+  "$build_dir/tools/json_check" "$smoke_dir/trace.json" \
+    --require=schema,traceEvents,tracks
   "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=1 \
     > "$smoke_dir/kappa_ser.txt"
   # The trailing summary line embeds wall time; compare κ rows only.
