@@ -5,7 +5,9 @@
 #include <map>
 #include <optional>
 #include <ostream>
+#include <span>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "tkc/core/analysis_context.h"
@@ -13,10 +15,12 @@
 #include "tkc/core/hierarchy.h"
 #include "tkc/core/parallel_peel.h"
 #include "tkc/core/triangle_core.h"
+#include "tkc/engine/engine.h"
 #include "tkc/gen/generators.h"
 #include "tkc/graph/kcore.h"
 #include "tkc/graph/stats.h"
 #include "tkc/io/edge_list.h"
+#include "tkc/io/event_list.h"
 #include "tkc/obs/json.h"
 #include "tkc/obs/log.h"
 #include "tkc/obs/metrics.h"
@@ -192,35 +196,50 @@ int CmdHierarchy(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
-std::optional<std::vector<EdgeEvent>> ReadEvents(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::vector<EdgeEvent> events;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream fields(line);
-    char op = 0;
-    long long u = -1, v = -1;
-    if (!(fields >> op >> u >> v) || (op != '+' && op != '-') || u < 0 ||
-        v < 0 || u == v) {
-      return std::nullopt;
-    }
-    events.push_back(
-        {op == '+' ? EdgeEvent::Kind::kInsert : EdgeEvent::Kind::kRemove,
-         static_cast<VertexId>(u), static_cast<VertexId>(v)});
+// Tolerant event-log load (io/event_list semantics: junk rows are skipped
+// and counted, never fatal), with the same logging shape as LoadGraph.
+std::optional<std::vector<EdgeEvent>> LoadEvents(const std::string& path,
+                                                 std::ostream& err,
+                                                 EventListStats* stats_out =
+                                                     nullptr) {
+  EventListStats stats;
+  auto events = ReadEventListFile(path, &stats);
+  if (!events.has_value()) {
+    err << "error: cannot read events '" << path << "'\n";
+    obs::Logger::Global().Error("events.load_failed", {{"path", path}});
+    return events;
   }
+  if (stats.Skipped() > 0) {
+    obs::Logger::Global().Warn("events.lines_skipped",
+                               {{"path", path},
+                                {"malformed", stats.malformed_lines},
+                                {"self_loops", stats.self_loops}});
+  }
+  obs::Logger::Global().Info(
+      "events.loaded", {{"path", path}, {"events", stats.events_parsed}});
+  if (stats_out != nullptr) *stats_out = stats;
   return events;
 }
+
+obs::JsonValue UpdateStatsJson(const UpdateStats& s) {
+  obs::JsonValue doc = obs::JsonValue::Object();
+  doc.Set("candidate_edges", s.candidate_edges)
+      .Set("promoted_edges", s.promoted_edges)
+      .Set("demoted_edges", s.demoted_edges)
+      .Set("triangles_scanned", s.triangles_scanned);
+  return doc;
+}
+
+// Set by the dynamic commands (update/replay) and attached by RunCli to the
+// --metrics-out artifact as "update_stats", so the maintenance work of the
+// run is in the machine-readable dump, not only the human summary line.
+std::optional<obs::JsonValue> g_update_stats_json;  // NOLINT
 
 int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   auto g = LoadGraph(args.positional[1], err);
   if (!g) return 2;
-  auto events = ReadEvents(args.positional[2]);
-  if (!events) {
-    err << "error: cannot read events '" << args.positional[2] << "'\n";
-    return 2;
-  }
+  auto events = LoadEvents(args.positional[2], err);
+  if (!events) return 2;
   DynamicTriangleCore dyn(*g);
   Timer t;
   UpdateStats stats = dyn.ApplyEvents(*events);
@@ -239,6 +258,7 @@ int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   out << "# events=" << events->size() << " update_seconds=" << update_s
       << " recompute_seconds=" << recompute_s << ' ' << stats
       << " verified=" << (match ? "yes" : "NO") << '\n';
+  g_update_stats_json = UpdateStatsJson(stats);
   if (!match) {
     obs::Logger::Global().Error("update.verify_failed",
                                 {{"events", events->size()}});
@@ -271,11 +291,8 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
   const std::string events_path = args.Flag("events", "");
   if (!events_path.empty()) {
-    auto events = ReadEvents(events_path);
-    if (!events) {
-      err << "error: cannot read events '" << events_path << "'\n";
-      return 2;
-    }
+    auto events = LoadEvents(events_path, err);
+    if (!events) return 2;
     options.events = std::move(*events);
   }
 
@@ -315,6 +332,144 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         "verify.failed", {{"check", report.FirstFailure()->name}});
   }
   return report.AllPassed() ? 0 : 3;
+}
+
+// `tkc replay`: stream an event log through the versioned engine
+// (DeltaCsr + batched maintenance + compaction) in --batch=N chunks,
+// emitting per-batch latency/work lines and, with --query-every=K, serving
+// analytics queries off zero-copy snapshots between batches. Exit codes:
+// 0 ok, 3 a --verify check failed, 2 usage/I-O error.
+int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  auto g = LoadGraph(args.positional[1], err);
+  if (!g) return 2;
+  const std::string events_path = args.Flag("events", "");
+  if (events_path.empty()) {
+    err << "error: replay requires --events=FILE\n";
+    return 2;
+  }
+  const int64_t batch_size = args.FlagInt("batch", 64);
+  if (batch_size < 1) {
+    err << "error: --batch must be >= 1\n";
+    return 2;
+  }
+  const int64_t query_every = args.FlagInt("query-every", 0);
+  if (query_every < 0) {
+    err << "error: --query-every must be >= 0\n";
+    return 2;
+  }
+  const int64_t compact_edits = args.FlagInt("compact-edits", 4096);
+  if (compact_edits < 0) {
+    err << "error: --compact-edits must be >= 0\n";
+    return 2;
+  }
+  EventListStats estats;
+  auto events = LoadEvents(events_path, err, &estats);
+  if (!events) return 2;
+
+  const bool verify = args.flags.count("verify") > 0;
+  engine::EngineOptions options;
+  options.compaction_min_edits = static_cast<size_t>(compact_edits);
+  options.verify_compactions = verify;
+  engine::TkcEngine engine(*g, options);
+
+  obs::JsonValue batches_json = obs::JsonValue::Array();
+  Timer total;
+  uint64_t batch_index = 0;
+  for (size_t off = 0; off < events->size();
+       off += static_cast<size_t>(batch_size)) {
+    const size_t count =
+        std::min(static_cast<size_t>(batch_size), events->size() - off);
+    std::span<const EdgeEvent> chunk(events->data() + off, count);
+    Timer t;
+    BatchStats stats = engine.ApplyBatch(chunk);
+    const double seconds = t.Seconds();
+    ++batch_index;
+    out << "batch " << batch_index << ": " << stats
+        << " epoch=" << engine.epoch() << " seconds=" << seconds << '\n';
+    obs::JsonValue row = obs::JsonValue::Object();
+    row.Set("batch", batch_index)
+        .Set("events", stats.events)
+        .Set("coalesced", stats.coalesced_events)
+        .Set("net_inserts", stats.net_inserts)
+        .Set("net_removes", stats.net_removes)
+        .Set("levels", stats.levels)
+        .Set("sweeps", stats.sweeps)
+        .Set("candidate_edges", stats.work.candidate_edges)
+        .Set("triangles_scanned", stats.work.triangles_scanned)
+        .Set("seconds", seconds);
+    batches_json.Push(std::move(row));
+    if (query_every > 0 &&
+        batch_index % static_cast<uint64_t>(query_every) == 0) {
+      engine::EngineSnapshot snap = engine.Snapshot();
+      out << "query after batch " << batch_index << ": epoch=" << snap.epoch
+          << " edges=" << snap.context->csr().NumEdges()
+          << " triangles=" << snap.context->TriangleCount()
+          << " max_kappa=" << snap.max_kappa << '\n';
+    }
+  }
+  engine.Compact();
+  engine::EngineSnapshot final_snap = engine.Snapshot();
+  const double total_s = total.Seconds();
+
+  // --verify: the engine's maintained κ must match a scratch recompute on
+  // the final frozen snapshot, and every compaction-boundary certificate
+  // must have held.
+  bool verified = true;
+  if (verify) {
+    TriangleCoreResult fresh = ComputeTriangleCores(*final_snap.context);
+    const std::vector<uint32_t>& kappa = *final_snap.kappa;
+    final_snap.context->csr().ForEachEdge([&](EdgeId e, const Edge&) {
+      verified = verified && fresh.kappa[e] == kappa[e];
+    });
+    verified = verified && engine.certificates_ok();
+    if (!verified) {
+      obs::Logger::Global().Error(
+          "replay.verify_failed",
+          {{"events", events->size()}, {"epoch", final_snap.epoch}});
+    }
+  }
+
+  const UpdateStats& work = engine.total_stats();
+  out << "# events=" << events->size() << " skipped=" << estats.Skipped()
+      << " batches=" << batch_index << " batch_size=" << batch_size
+      << " compactions=" << engine.compactions()
+      << " epoch=" << final_snap.epoch
+      << " edges=" << final_snap.context->csr().NumEdges()
+      << " max_kappa=" << final_snap.max_kappa << " seconds=" << total_s
+      << " events_per_sec="
+      << (total_s > 0 ? static_cast<double>(events->size()) / total_s : 0.0)
+      << ' ' << work;
+  if (verify) out << " verified=" << (verified ? "yes" : "NO");
+  out << '\n';
+  g_update_stats_json = UpdateStatsJson(work);
+
+  const std::string json_out = args.Flag("json-out", "");
+  if (!json_out.empty()) {
+    obs::JsonValue doc = obs::JsonValue::Object();
+    doc.Set("schema", "tkc.replay.v1")
+        .Set("graph", args.positional[1])
+        .Set("events_file", events_path)
+        .Set("events", events->size())
+        .Set("events_skipped", estats.Skipped())
+        .Set("batch_size", batch_size)
+        .Set("batches", batch_index)
+        .Set("compactions", engine.compactions())
+        .Set("epoch", final_snap.epoch)
+        .Set("edges", final_snap.context->csr().NumEdges())
+        .Set("max_kappa", final_snap.max_kappa)
+        .Set("seconds", total_s)
+        .Set("verified", verify ? (verified ? "yes" : "no") : "skipped")
+        .Set("update_stats", UpdateStatsJson(work))
+        .Set("batch_log", std::move(batches_json));
+    std::ofstream file(json_out);
+    file << doc.Dump(2) << '\n';
+    if (!file.good()) {
+      err << "error: cannot write '" << json_out << "'\n";
+      return 2;
+    }
+    out << "wrote " << json_out << '\n';
+  }
+  return verified ? 0 : 3;
 }
 
 int CmdTemplates(const ParsedArgs& args, std::ostream& out,
@@ -402,12 +557,16 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
 
 void PrintUsage(std::ostream& err) {
   err << "usage: tkc <command> ... [--log-level=L] [--metrics-out=FILE]\n"
+         "                         [--trace-out=FILE] [--threads=N]\n"
          "  decompose <edges.txt> [--mode=store|recompute]\n"
          "  kcore     <edges.txt>\n"
          "  stats     <edges.txt>\n"
          "  plot      <edges.txt> [--svg=FILE] [--width=N] [--height=N]\n"
          "  hierarchy <edges.txt> [--max-nodes=N]\n"
          "  update    <edges.txt> <events.txt>\n"
+         "  replay    <edges.txt> --events=FILE [--batch=N]\n"
+         "            [--query-every=K] [--compact-edits=N] [--verify]\n"
+         "            [--json-out=FILE]\n"
          "  verify    <edges.txt> [--events=FILE] [--check-every=N]\n"
          "            [--mode=store|recompute] [--json-out=FILE]\n"
          "  templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin\n"
@@ -445,6 +604,9 @@ bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
       {"plot", {"svg", "width", "height"}},
       {"hierarchy", {"max-nodes"}},
       {"update", {}},
+      {"replay",
+       {"events", "batch", "query-every", "compact-edits", "verify",
+        "json-out"}},
       {"verify", {"events", "check-every", "mode", "json-out"}},
       {"templates", {"pattern", "min-size"}},
       {"generate", {"out", "seed", "n", "m", "p", "scale"}},
@@ -483,6 +645,7 @@ int Dispatch(const std::string& cmd, const ParsedArgs& parsed,
   if (cmd == "plot" && need(2)) return CmdPlot(parsed, out, err);
   if (cmd == "hierarchy" && need(2)) return CmdHierarchy(parsed, out, err);
   if (cmd == "update" && need(3)) return CmdUpdate(parsed, out, err);
+  if (cmd == "replay" && need(2)) return CmdReplay(parsed, out, err);
   if (cmd == "verify" && need(2)) return CmdVerify(parsed, out, err);
   if (cmd == "templates" && need(3)) return CmdTemplates(parsed, out, err);
   if (cmd == "generate" && need(2)) return CmdGenerate(parsed, out, err);
@@ -542,6 +705,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
                                       : static_cast<int>(threads_flag));
 
   const std::string& cmd = parsed.positional[0];
+  g_update_stats_json.reset();  // only dynamic commands repopulate it
   int code;
   {
     TKC_SPAN(cmd);
@@ -555,6 +719,9 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
         .Set("exit_code", code)
         .Set("metrics", obs::MetricsRegistry::Global().ToJson())
         .Set("trace", obs::PhaseTracer::Global().ToJson());
+    if (g_update_stats_json.has_value()) {
+      doc.Set("update_stats", *g_update_stats_json);
+    }
     std::ofstream file(metrics_out);
     file << doc.Dump(2) << '\n';
     if (!file.good()) {

@@ -12,10 +12,18 @@
 namespace tkc {
 
 AnalysisContext::AnalysisContext(const Graph& g, int threads)
-    : csr_(g), threads_(ResolveThreads(threads)) {}
+    : csr_(std::make_shared<const CsrGraph>(g)),
+      threads_(ResolveThreads(threads)) {}
 
 AnalysisContext::AnalysisContext(CsrGraph csr, int threads)
-    : csr_(std::move(csr)), threads_(ResolveThreads(threads)) {}
+    : csr_(std::make_shared<const CsrGraph>(std::move(csr))),
+      threads_(ResolveThreads(threads)) {}
+
+AnalysisContext::AnalysisContext(std::shared_ptr<const CsrGraph> csr,
+                                 int threads)
+    : csr_(std::move(csr)), threads_(ResolveThreads(threads)) {
+  TKC_CHECK_MSG(csr_ != nullptr, "AnalysisContext: null snapshot");
+}
 
 const std::vector<uint32_t>& AnalysisContext::Supports() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -24,13 +32,13 @@ const std::vector<uint32_t>& AnalysisContext::Supports() const {
     obs::MetricsRegistry::Global()
         .GetCounter("analysis.support_computations")
         .Add(1);
-    supports_ = ComputeEdgeSupports(csr_, threads_);
+    supports_ = ComputeEdgeSupports(*csr_, threads_);
     // L2 oracle: the parallel kernel must agree with a serial per-edge
     // common-neighbor recount. (No TKC_SPAN here — we hold mu_ and the
     // tracer is single-threaded.)
-    TKC_VERIFY_L2(csr_.ForEachEdge([&](EdgeId e, const Edge& edge) {
+    TKC_VERIFY_L2(csr_->ForEachEdge([&](EdgeId e, const Edge& edge) {
       TKC_CHECK_MSG(
-          (*supports_)[e] == csr_.CountCommonNeighbors(edge.u, edge.v),
+          (*supports_)[e] == csr_->CountCommonNeighbors(edge.u, edge.v),
           "AnalysisContext::Supports: parallel support kernel disagrees "
           "with per-edge recount");
     }));
@@ -54,7 +62,7 @@ const std::vector<Triangle>& AnalysisContext::Triangles() const {
         .GetCounter("analysis.triangle_materializations")
         .Add(1);
     triangles_.emplace();
-    ForEachTriangle(csr_,
+    ForEachTriangle(*csr_,
                     [&](const Triangle& t) { triangles_->push_back(t); });
   }
   return *triangles_;

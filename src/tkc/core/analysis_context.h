@@ -2,6 +2,7 @@
 #define TKC_CORE_ANALYSIS_CONTEXT_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -36,7 +37,17 @@ class AnalysisContext {
   /// Adopts an existing snapshot.
   explicit AnalysisContext(CsrGraph csr, int threads = 0);
 
-  const CsrGraph& csr() const { return csr_; }
+  /// Shares an existing snapshot without copying it — the zero-copy
+  /// handoff the versioned engine uses: the engine's DeltaCsr base and
+  /// every AnalysisContext of that epoch point at the same CSR arrays.
+  explicit AnalysisContext(std::shared_ptr<const CsrGraph> csr,
+                           int threads = 0);
+
+  const CsrGraph& csr() const { return *csr_; }
+
+  /// The underlying shared snapshot (always non-null).
+  const std::shared_ptr<const CsrGraph>& csr_ptr() const { return csr_; }
+
   int threads() const { return threads_; }
 
   /// Per-edge triangle supports, indexed by EdgeId (dead ids hold 0).
@@ -54,7 +65,7 @@ class AnalysisContext {
   uint32_t MaxSupport() const;
 
  private:
-  CsrGraph csr_;
+  std::shared_ptr<const CsrGraph> csr_;
   int threads_;
   mutable std::mutex mu_;
   mutable std::optional<std::vector<uint32_t>> supports_;

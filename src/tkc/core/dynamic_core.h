@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,29 @@ struct UpdateStats {
 
 std::ostream& operator<<(std::ostream& os, const UpdateStats& stats);
 
+/// Outcome of one ApplyBatch call: the shared work counters plus the
+/// batch-shape numbers (how much the coalescer elided, how many region
+/// searches actually ran) that make the amortization measurable.
+struct BatchStats {
+  UpdateStats work;
+  uint64_t events = 0;            // events handed in
+  uint64_t coalesced_events = 0;  // elided by net-effect coalescing
+  uint64_t net_inserts = 0;       // structural inserts applied
+  uint64_t net_removes = 0;       // structural removals applied
+  uint64_t levels = 0;            // deduplicated insert levels processed
+  uint64_t sweeps = 0;            // promotion sweeps until fixpoint
+
+  /// "events=N coalesced=N inserts=N removes=N levels=N sweeps=N" + work.
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const BatchStats& stats);
+
 /// Incrementally maintained Triangle K-Core decomposition (the paper's
 /// Algorithm 2, with the appendix's Algorithms 5-7 realized as a local
-/// affected-region search + repeel).
+/// affected-region search + repeel), templated over the graph substrate:
+/// the legacy adjacency-list `Graph` or the engine's `DeltaCsr` overlay
+/// view (use the `DynamicTriangleCore` alias for the former).
 ///
 /// Semantics maintained as an invariant after every call: `kappa()[e]`
 /// equals the κ(e) that `ComputeTriangleCores(graph())` would produce — the
@@ -54,15 +75,28 @@ std::ostream& operator<<(std::ostream& os, const UpdateStats& stats);
 /// support drops below κ(e) is demoted to its local h-value and its
 /// triangle neighbors re-checked. This decreasing iteration provably
 /// converges to the exact decomposition from any valid upper bound.
-class DynamicTriangleCore {
+///
+/// `ApplyBatch` amortizes the same machinery over an event batch: events
+/// are coalesced to their net effect per edge, all net removals share one
+/// demotion pump over the fully mutated graph, and all net insertions
+/// share level-deduplicated region searches iterated to fixpoint. κ is a
+/// function of the final graph alone, so the result is identical to
+/// per-event application at any batch size.
+template <typename GraphT>
+class DynamicTriangleCoreT {
  public:
   /// Takes ownership of `graph` and runs Algorithm 1 once to initialize κ.
-  explicit DynamicTriangleCore(Graph graph);
+  explicit DynamicTriangleCoreT(GraphT graph);
 
   /// Starts from an already-computed decomposition (must match `graph`).
-  DynamicTriangleCore(Graph graph, const TriangleCoreResult& initial);
+  DynamicTriangleCoreT(GraphT graph, const TriangleCoreResult& initial);
 
-  const Graph& graph() const { return graph_; }
+  const GraphT& graph() const { return graph_; }
+
+  /// Maintenance-only escape hatch for the owning engine (compaction needs
+  /// to mutate the substrate without touching κ). Callers must preserve
+  /// the topology–κ invariant.
+  GraphT& MutableGraphForMaintenance() { return graph_; }
 
   /// κ per EdgeId; sized graph().EdgeCapacity(); dead ids hold 0.
   const std::vector<uint32_t>& kappa() const { return kappa_; }
@@ -84,12 +118,21 @@ class DynamicTriangleCore {
   /// triangle). Returns the aggregate work counters for the batch.
   UpdateStats ApplyEvents(const std::vector<EdgeEvent>& events);
 
+  /// Applies an event batch through the amortized path (see class
+  /// comment): coalesce → shared removal pump → shared insert sweeps.
+  /// Self-loop events are rejected with a check failure (the hardened io
+  /// parser filters them before they get here). The resulting κ(e) per
+  /// live edge equals per-event application; note that when coalescing
+  /// elides a remove+reinsert pair the *id* of that edge keeps its old
+  /// value instead of being reallocated.
+  BatchStats ApplyBatch(std::span<const EdgeEvent> events);
+
   /// Removes every edge incident to `v` (the paper's dynamic model treats
   /// vertex departure as the deletion of its edges). Returns the number of
   /// edges removed.
   size_t RemoveVertexEdges(VertexId v);
 
-  /// Work counters for the most recent insert/remove.
+  /// Work counters for the most recent insert/remove/batch.
   const UpdateStats& last_update_stats() const { return last_stats_; }
 
   /// Cumulative counters since construction.
@@ -102,6 +145,10 @@ class DynamicTriangleCore {
   // Rule-0 region growth + repeel for a single level; appends survivors.
   void ProcessInsertLevel(EdgeId e0, uint32_t k,
                           std::vector<EdgeId>* promotions);
+  // Multi-seed variant for ApplyBatch: one region growth + repeel per
+  // level shared by every seed (seed_flag_ marks the by-fiat members).
+  void ProcessBatchInsertLevel(const std::vector<EdgeId>& seeds, uint32_t k,
+                               std::vector<EdgeId>* promotions);
   void RemoveEdgeInternal(EdgeId e0);
   // Cascading demotion queue pump; entries of `queued_` touched by `queue`
   // are reset before returning.
@@ -111,7 +158,7 @@ class DynamicTriangleCore {
   // RemoveVertexEdges pay for one certificate per batch, not per event.
   void VerifyAfterUpdate(const char* where);
 
-  Graph graph_;
+  GraphT graph_;
   std::vector<uint32_t> kappa_;
   bool in_batch_ = false;
   // Scratch (lazily grown to EdgeCapacity, cleaned after every update):
@@ -119,10 +166,16 @@ class DynamicTriangleCore {
   std::vector<uint8_t> flag_;
   std::vector<uint32_t> cand_support_;
   std::vector<uint8_t> queued_;
-  std::vector<uint32_t> hist_;  // partner-min histogram scratch
+  std::vector<uint8_t> seed_flag_;  // batch sweep seeds (already expanded)
+  std::vector<uint32_t> hist_;      // partner-min histogram scratch
   UpdateStats last_stats_;
   UpdateStats total_stats_;
 };
+
+/// The legacy single-graph maintainer every existing call site uses.
+using DynamicTriangleCore = DynamicTriangleCoreT<Graph>;
+
+extern template class DynamicTriangleCoreT<Graph>;
 
 }  // namespace tkc
 

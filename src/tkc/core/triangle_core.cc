@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "tkc/core/analysis_context.h"
+#include "tkc/graph/delta_csr.h"
 #include "tkc/graph/triangle.h"
 #include "tkc/obs/metrics.h"
 #include "tkc/obs/trace.h"
@@ -213,6 +214,15 @@ TriangleCoreResult ComputeTriangleCores(const CsrGraph& g,
   TKC_VERIFY_L2(verify::CheckOrDie(
       verify::CheckKappaCertificate(g, result.kappa),
       "ComputeTriangleCores(CsrGraph)"));
+  return result;
+}
+
+TriangleCoreResult ComputeTriangleCores(const DeltaCsr& g,
+                                        TriangleStorageMode mode) {
+  TriangleCoreResult result = PeelTriangleCores(g, mode);
+  TKC_VERIFY_L2(verify::CheckOrDie(
+      verify::CheckKappaCertificate(g, result.kappa),
+      "ComputeTriangleCores(DeltaCsr)"));
   return result;
 }
 

@@ -56,6 +56,17 @@ TriangleCoreResult ComputeTriangleCores(
     const CsrGraph& g,
     TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
 
+class DeltaCsr;
+
+/// Same peel over the engine's DeltaCsr overlay view (base CSR + pending
+/// edits); EdgeIds and κ values are interchangeable with the other
+/// overloads. This is the scratch-recompute reference the batched
+/// maintainer is differentially tested against, and the initializer the
+/// engine uses when adopting a view whose decomposition is unknown.
+TriangleCoreResult ComputeTriangleCores(
+    const DeltaCsr& g,
+    TriangleStorageMode mode = TriangleStorageMode::kRecomputeTriangles);
+
 class AnalysisContext;
 
 /// Same peel over a shared AnalysisContext: the initial κ̃ comes from the

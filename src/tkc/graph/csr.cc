@@ -13,24 +13,16 @@
 namespace tkc {
 
 CsrGraph::CsrGraph(const Graph& g) {
-  const VertexId n = g.NumVertices();
-  offsets_.assign(n + 1, 0);
-  for (VertexId v = 0; v < n; ++v) {
-    offsets_[v + 1] = offsets_[v] + g.Degree(v);
-  }
-  entries_.resize(offsets_[n]);
-  for (VertexId v = 0; v < n; ++v) {
-    const auto& adj = g.Neighbors(v);
-    std::copy(adj.begin(), adj.end(), entries_.begin() + offsets_[v]);
-  }
-  edge_capacity_ = g.EdgeCapacity();
-  edges_.assign(edge_capacity_, Edge{});
-  g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
-  BuildOrientedView();
-  TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckCsrStructure(*this),
-                                   "CsrGraph::CsrGraph"));
+  InitFrom(g);
+  FinishBuild();
   TKC_VERIFY_L2(verify::CheckOrDie(verify::CheckMirrorConsistency(g, *this),
                                    "CsrGraph::CsrGraph"));
+}
+
+void CsrGraph::FinishBuild() {
+  BuildOrientedView();
+  TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckCsrStructure(*this),
+                                   "CsrGraph::FinishBuild"));
 }
 
 void CsrGraph::BuildOrientedView() {

@@ -1,6 +1,7 @@
 #ifndef TKC_GRAPH_CSR_H_
 #define TKC_GRAPH_CSR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -30,6 +31,19 @@ class CsrGraph {
  public:
   /// Freezes `g`. O(|V| + |E|).
   explicit CsrGraph(const Graph& g);
+
+  /// Freezes any graph-like source exposing NumVertices/Degree/Neighbors/
+  /// EdgeCapacity/ForEachEdge with live-only sorted adjacency (Graph,
+  /// DeltaCsr). EdgeIds are inherited unchanged — holes included — so
+  /// per-edge attribute arrays stay valid against the snapshot. This is the
+  /// kernel DeltaCsr::Compact() rebuilds its base through.
+  template <typename GraphT>
+  static CsrGraph Freeze(const GraphT& g) {
+    CsrGraph csr;
+    csr.InitFrom(g);
+    csr.FinishBuild();
+    return csr;
+  }
 
   VertexId NumVertices() const {
     return static_cast<VertexId>(offsets_.size() - 1);
@@ -159,6 +173,28 @@ class CsrGraph {
   Graph ToGraph() const;
 
  private:
+  CsrGraph() = default;
+
+  // Copies the adjacency, edge table, and capacity out of `g`; the oriented
+  // view and structural audit run afterwards in FinishBuild().
+  template <typename GraphT>
+  void InitFrom(const GraphT& g) {
+    const VertexId n = g.NumVertices();
+    offsets_.assign(n + 1, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      offsets_[v + 1] = offsets_[v] + g.Degree(v);
+    }
+    entries_.resize(offsets_[n]);
+    for (VertexId v = 0; v < n; ++v) {
+      const auto& adj = g.Neighbors(v);
+      std::copy(adj.begin(), adj.end(), entries_.begin() + offsets_[v]);
+    }
+    edge_capacity_ = g.EdgeCapacity();
+    edges_.assign(edge_capacity_, Edge{});
+    g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
+  }
+
+  void FinishBuild();
   void BuildOrientedView();
 
   std::vector<size_t> offsets_;    // |V|+1

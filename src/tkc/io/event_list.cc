@@ -1,0 +1,73 @@
+#include "tkc/io/event_list.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "tkc/obs/metrics.h"
+
+namespace tkc {
+
+std::optional<std::vector<EdgeEvent>> ReadEventList(std::istream& in,
+                                                    EventListStats* stats) {
+  std::vector<EdgeEvent> events;
+  EventListStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++local.lines;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      ++local.comment_lines;
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string op;
+    long long u = -1, v = -1;
+    if (!(fields >> op >> u >> v) || (op != "+" && op != "-") || u < 0 ||
+        v < 0 || u > static_cast<long long>(kInvalidVertex) - 1 ||
+        v > static_cast<long long>(kInvalidVertex) - 1) {
+      ++local.malformed_lines;
+      continue;
+    }
+    if (u == v) {
+      ++local.self_loops;
+      continue;
+    }
+    events.push_back(EdgeEvent{op == "+" ? EdgeEvent::Kind::kInsert
+                                         : EdgeEvent::Kind::kRemove,
+                               static_cast<VertexId>(u),
+                               static_cast<VertexId>(v)});
+    ++local.events_parsed;
+  }
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("io.events_skipped").Add(local.Skipped());
+  registry.GetCounter("io.events_malformed").Add(local.malformed_lines);
+  registry.GetCounter("io.events_self_loops").Add(local.self_loops);
+  if (stats != nullptr) *stats = local;
+  return events;
+}
+
+std::optional<std::vector<EdgeEvent>> ReadEventListFile(
+    const std::string& path, EventListStats* stats) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadEventList(in, stats);
+}
+
+void WriteEventList(const std::vector<EdgeEvent>& events, std::ostream& out) {
+  out << "# " << events.size() << '\n';
+  for (const EdgeEvent& ev : events) {
+    out << (ev.kind == EdgeEvent::Kind::kInsert ? '+' : '-') << ' ' << ev.u
+        << ' ' << ev.v << '\n';
+  }
+}
+
+bool WriteEventListFile(const std::vector<EdgeEvent>& events,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteEventList(events, out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace tkc

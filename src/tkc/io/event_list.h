@@ -1,0 +1,56 @@
+#ifndef TKC_IO_EVENT_LIST_H_
+#define TKC_IO_EVENT_LIST_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tkc/graph/edge_event.h"
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Plain-text edge-event log: one "+ u v" (insert) or "- u v" (remove)
+/// per line; blank lines and lines starting with '#' or '%' are ignored.
+///
+/// Hardened like io/edge_list: event logs recorded from live systems carry
+/// junk, so offending lines are *skipped and counted* instead of aborting
+/// the replay. The per-kind tallies land in `EventListStats` and in the
+/// `io.events_skipped` / `io.events_malformed` / `io.events_self_loops`
+/// metrics counters. Duplicate events (re-inserting a present edge,
+/// removing an absent one) are NOT filtered here — the batch coalescer
+/// resolves them against actual graph state.
+
+/// Per-load accounting of what the tolerant reader did.
+struct EventListStats {
+  uint64_t lines = 0;            // every line seen, including comments
+  uint64_t comment_lines = 0;    // blank, '#', '%'
+  uint64_t malformed_lines = 0;  // bad op, non-numeric, out-of-range
+  uint64_t self_loops = 0;       // "+ u u" / "- u u" rows
+  uint64_t events_parsed = 0;    // rows that became events
+
+  /// Rows skipped for any reason (the io.events_skipped counter).
+  uint64_t Skipped() const { return malformed_lines + self_loops; }
+};
+
+/// Parses from a stream; never fails on row content (see above). `stats`,
+/// when provided, receives the load accounting.
+std::optional<std::vector<EdgeEvent>> ReadEventList(
+    std::istream& in, EventListStats* stats = nullptr);
+
+/// Reads from a file path. Returns std::nullopt when the file cannot be
+/// opened.
+std::optional<std::vector<EdgeEvent>> ReadEventListFile(
+    const std::string& path, EventListStats* stats = nullptr);
+
+/// Writes "+ u v" / "- u v" lines with a "# events" comment header.
+void WriteEventList(const std::vector<EdgeEvent>& events, std::ostream& out);
+
+bool WriteEventListFile(const std::vector<EdgeEvent>& events,
+                        const std::string& path);
+
+}  // namespace tkc
+
+#endif  // TKC_IO_EVENT_LIST_H_

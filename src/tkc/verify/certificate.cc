@@ -134,4 +134,9 @@ VerifyReport CheckKappaCertificate(const CsrGraph& g,
   return CheckKappaCertificateImpl(g, kappa);
 }
 
+VerifyReport CheckKappaCertificate(const DeltaCsr& g,
+                                   const std::vector<uint32_t>& kappa) {
+  return CheckKappaCertificateImpl(g, kappa);
+}
+
 }  // namespace tkc::verify

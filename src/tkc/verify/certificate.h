@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tkc/graph/csr.h"
+#include "tkc/graph/delta_csr.h"
 #include "tkc/graph/graph.h"
 #include "tkc/verify/report.h"
 
@@ -41,6 +42,8 @@ namespace tkc::verify {
 VerifyReport CheckKappaCertificate(const Graph& g,
                                    const std::vector<uint32_t>& kappa);
 VerifyReport CheckKappaCertificate(const CsrGraph& g,
+                                   const std::vector<uint32_t>& kappa);
+VerifyReport CheckKappaCertificate(const DeltaCsr& g,
                                    const std::vector<uint32_t>& kappa);
 
 }  // namespace tkc::verify

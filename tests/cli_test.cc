@@ -191,14 +191,142 @@ TEST_F(CliTest, UpdateAppliesEventsAndVerifies) {
   EXPECT_NE(out.find("verified=yes"), std::string::npos);
 }
 
-TEST_F(CliTest, UpdateRejectsBadEvents) {
+TEST_F(CliTest, UpdateSkipsMalformedEventRowsWithWarning) {
+  // Hardened io/event_list semantics: junk rows are skipped and counted,
+  // not fatal — the valid rows still apply.
   std::string events_path = TempPath("cli_bad_events.txt");
   {
     std::ofstream ev(events_path);
-    ev << "* 0 1\n";
+    ev << "* 0 1\n+ 2 2\n+ 0 3\n";
   }
   std::string out, err;
-  EXPECT_EQ(RunTool({"update", edges_path_, events_path}, &out, &err), 2);
+  EXPECT_EQ(RunTool({"update", edges_path_, events_path, "--log-level=warn"},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("events=1"), std::string::npos);
+  EXPECT_NE(out.find("verified=yes"), std::string::npos);
+  EXPECT_NE(err.find("events.lines_skipped"), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateMissingEventsFileFails) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"update", edges_path_, "/no/such/events"}, &out, &err),
+            2);
+  EXPECT_NE(err.find("cannot read events"), std::string::npos);
+}
+
+TEST_F(CliTest, UpdateWritesUpdateStatsIntoMetricsArtifact) {
+  std::string events_path = TempPath("cli_update_stats_events.txt");
+  {
+    std::ofstream ev(events_path);
+    ev << "+ 0 3\n- 0 1\n";
+  }
+  std::string metrics_path = TempPath("cli_update_metrics.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"update", edges_path_, events_path,
+                 "--metrics-out=" + metrics_path},
+                &out),
+            0);
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto doc = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* stats = doc->Find("update_stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_NE(stats->Find("candidate_edges"), nullptr);
+  EXPECT_NE(stats->Find("promoted_edges"), nullptr);
+  EXPECT_NE(stats->Find("demoted_edges"), nullptr);
+  EXPECT_NE(stats->Find("triangles_scanned"), nullptr);
+}
+
+TEST_F(CliTest, ReplayStreamsEventsThroughEngine) {
+  std::string events_path = TempPath("cli_replay_events.txt");
+  {
+    std::ofstream ev(events_path);
+    ev << "# mixed log with junk rows\n"
+          "+ 0 3\n"
+          "junk row\n"
+          "+ 1 1\n"  // self-loop: skipped, counted
+          "+ 1 3\n"
+          "- 0 1\n"
+          "+ 0 1\n"
+          "+ 2 4\n";
+  }
+  std::string json_path = TempPath("cli_replay.json");
+  std::string metrics_path = TempPath("cli_replay_metrics.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"replay", edges_path_, "--events=" + events_path,
+                 "--batch=2", "--query-every=1", "--compact-edits=2",
+                 "--verify", "--json-out=" + json_path,
+                 "--metrics-out=" + metrics_path},
+                &out),
+            0);
+  EXPECT_NE(out.find("batch 1:"), std::string::npos);
+  EXPECT_NE(out.find("query after batch"), std::string::npos);
+  EXPECT_NE(out.find("verified=yes"), std::string::npos);
+  EXPECT_NE(out.find("skipped=2"), std::string::npos);
+
+  // tkc.replay.v1 artifact.
+  std::ifstream rin(json_path);
+  ASSERT_TRUE(rin.good());
+  std::stringstream rbuf;
+  rbuf << rin.rdbuf();
+  auto rdoc = obs::JsonValue::Parse(rbuf.str());
+  ASSERT_TRUE(rdoc.has_value());
+  EXPECT_EQ(rdoc->Find("schema")->Str(), "tkc.replay.v1");
+  EXPECT_EQ(rdoc->Find("events")->Number(), 5.0);
+  EXPECT_EQ(rdoc->Find("events_skipped")->Number(), 2.0);
+  EXPECT_EQ(rdoc->Find("verified")->Str(), "yes");
+  EXPECT_NE(rdoc->Find("update_stats"), nullptr);
+  ASSERT_TRUE(rdoc->Find("batch_log")->IsArray());
+  EXPECT_EQ(rdoc->Find("batch_log")->Items().size(), 3u);  // ceil(5/2)
+
+  // Metrics artifact: engine counters, the zero-copy pin, the skip
+  // counters from the hardened parser, and the update_stats block.
+  std::ifstream min(metrics_path);
+  ASSERT_TRUE(min.good());
+  std::stringstream mbuf;
+  mbuf << min.rdbuf();
+  auto mdoc = obs::JsonValue::Parse(mbuf.str());
+  ASSERT_TRUE(mdoc.has_value());
+  const obs::JsonValue* counters = mdoc->FindPath("metrics.counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("engine.batches")->Number(), 3.0);
+  EXPECT_EQ(counters->Find("engine.events")->Number(), 5.0);
+  EXPECT_EQ(counters->Find("engine.snapshot_copies")->Number(), 0.0);
+  EXPECT_EQ(counters->Find("io.events_skipped")->Number(), 2.0);
+  EXPECT_EQ(counters->Find("io.events_self_loops")->Number(), 1.0);
+  EXPECT_NE(counters->Find("dyn.batch.count"), nullptr);
+  EXPECT_NE(mdoc->Find("update_stats"), nullptr);
+}
+
+TEST_F(CliTest, ReplayRequiresEventsFlag) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"replay", edges_path_}, &out, &err), 2);
+  EXPECT_NE(err.find("requires --events"), std::string::npos);
+}
+
+TEST_F(CliTest, ReplayRejectsBadFlags) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({"replay", edges_path_, "--events=/no/such/file"}, &out,
+                &err),
+            2);
+  EXPECT_EQ(RunTool({"replay", edges_path_, "--events=x", "--batch=0"},
+                &out, &err),
+            2);
+  EXPECT_EQ(RunTool({"replay", edges_path_, "--events=x", "--bogus=1"},
+                &out, &err),
+            2);
+}
+
+TEST_F(CliTest, UsageListsReplayAndGlobalFlags) {
+  std::string out, err;
+  EXPECT_EQ(RunTool({}, &out, &err), 2);
+  EXPECT_NE(err.find("replay"), std::string::npos);
+  EXPECT_NE(err.find("--trace-out=FILE"), std::string::npos);
+  EXPECT_NE(err.find("--threads=N"), std::string::npos);
 }
 
 TEST_F(CliTest, VerifyCleanGraphPasses) {

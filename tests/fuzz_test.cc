@@ -9,6 +9,8 @@
 // the independent κ-certificate every Nth step; CI runs this suite at
 // TKC_CHECK_LEVEL=2, where every mutation additionally self-certifies.
 
+#include <algorithm>
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "tkc/core/ordered_core.h"
 #include "tkc/core/parallel_peel.h"
 #include "tkc/gen/generators.h"
+#include "tkc/graph/delta_csr.h"
 #include "tkc/util/random.h"
 #include "tkc/verify/certificate.h"
 #include "tkc/verify/oracle.h"
@@ -236,6 +239,102 @@ INSTANTIATE_TEST_SUITE_P(
                                                              : "_serialpeel";
       return name;
     });
+
+// --- Batch axis: ApplyBatch vs one-at-a-time, κ compared by endpoints ---
+//
+// Batched application coalesces to net effects, so when a batch contains a
+// remove+reinsert of the same endpoints the edge keeps its old id instead
+// of getting the fresh one the per-event path allocates. κ itself is a
+// function of the final graph alone, so the decompositions must agree
+// edge-for-edge *by endpoints* after every batch — and against a scratch
+// recompute after the final compaction.
+
+class BatchFuzzTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchFuzzTest, BatchedEqualsPerEventByEndpoints) {
+  const size_t batch_size = GetParam();
+  Rng rng(500009 + batch_size);
+  Graph base = PowerLawCluster(80, 3, 0.55, rng);
+
+  // Event stream with deliberate churn: duplicate inserts, removes of
+  // absent edges, and insert/remove flip-flops inside one batch, so the
+  // coalescer actually elides work.
+  Graph shadow = base;
+  std::vector<EdgeEvent> events;
+  for (int i = 0; i < 420; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(80));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(80));
+    if (u == v) continue;
+    const bool flip = rng.NextBool(0.15);  // immediate re-toggle
+    if (shadow.HasEdge(u, v)) {
+      events.push_back({EdgeEvent::Kind::kRemove, u, v});
+      shadow.RemoveEdge(u, v);
+      if (flip) {
+        events.push_back({EdgeEvent::Kind::kInsert, u, v});
+        shadow.AddEdge(u, v);
+      }
+    } else {
+      events.push_back({EdgeEvent::Kind::kInsert, u, v});
+      shadow.AddEdge(u, v);
+      if (flip) {
+        events.push_back({EdgeEvent::Kind::kRemove, u, v});
+        shadow.RemoveEdge(u, v);
+      }
+    }
+  }
+
+  // Per-event reference on the legacy substrate vs batched maintainer on
+  // the DeltaCsr overlay, compacting mid-stream to cross epoch boundaries.
+  DynamicTriangleCore reference(base);
+  DynamicTriangleCoreT<DeltaCsr> batched{DeltaCsr(base)};
+  size_t batches = 0;
+  for (size_t off = 0; off < events.size(); off += batch_size) {
+    const size_t count = std::min(batch_size, events.size() - off);
+    for (size_t i = off; i < off + count; ++i) {
+      const EdgeEvent& ev = events[i];
+      if (ev.kind == EdgeEvent::Kind::kInsert) {
+        reference.InsertEdge(ev.u, ev.v);
+      } else {
+        reference.RemoveEdge(ev.u, ev.v);
+      }
+    }
+    batched.ApplyBatch(
+        std::span<const EdgeEvent>(events.data() + off, count));
+    ++batches;
+    if (batches % 3 == 0) batched.MutableGraphForMaintenance().Compact();
+
+    ASSERT_EQ(reference.graph().NumEdges(), batched.graph().NumEdges())
+        << "batch " << batches;
+    reference.graph().ForEachEdge([&](EdgeId e, const Edge& edge) {
+      EdgeId other = batched.graph().FindEdge(edge.u, edge.v);
+      ASSERT_NE(other, kInvalidEdge)
+          << "batch " << batches << " edge (" << edge.u << "," << edge.v
+          << ") missing from batched view";
+      ASSERT_EQ(reference.kappa()[e], batched.kappa()[other])
+          << "batch " << batches << " edge (" << edge.u << "," << edge.v
+          << ")";
+    });
+  }
+
+  // Final compaction, then both oracles: Algorithm-1 scratch recompute on
+  // the frozen base and the code-independent certificate.
+  batched.MutableGraphForMaintenance().Compact();
+  TriangleCoreResult fresh = ComputeTriangleCores(batched.graph());
+  batched.graph().ForEachEdge([&](EdgeId e, const Edge& edge) {
+    ASSERT_EQ(batched.kappa()[e], fresh.kappa[e])
+        << "final edge (" << edge.u << "," << edge.v << ")";
+  });
+  verify::VerifyReport cert =
+      verify::CheckKappaCertificate(batched.graph(), batched.kappa());
+  ASSERT_TRUE(cert.AllPassed())
+      << cert.FirstFailure()->name << " — " << cert.FirstFailure()->detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchFuzzTest,
+                         ::testing::Values(1, 3, 16, 64),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "batch" + std::to_string(info.param);
+                         });
 
 TEST(FuzzTest, ReplayOracleOverGeneratedEventLog) {
   // Random mixed event log driven through the verify-layer replay oracle:

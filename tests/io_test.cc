@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 #include "tkc/gen/generators.h"
 #include "tkc/io/edge_list.h"
+#include "tkc/io/event_list.h"
 #include "tkc/io/snapshots.h"
+#include "tkc/obs/metrics.h"
 #include "tkc/util/random.h"
 
 namespace tkc {
@@ -86,6 +88,78 @@ TEST(EdgeListTest, FileRoundTrip) {
 
 TEST(EdgeListTest, MissingFile) {
   EXPECT_FALSE(ReadEdgeListFile("/no/such/file.txt").has_value());
+}
+
+TEST(EventListTest, RoundTrip) {
+  std::vector<EdgeEvent> events = {{EdgeEvent::Kind::kInsert, 0, 3},
+                                   {EdgeEvent::Kind::kRemove, 1, 2},
+                                   {EdgeEvent::Kind::kInsert, 2, 5}};
+  std::stringstream stream;
+  WriteEventList(events, stream);
+  EventListStats stats;
+  auto back = ReadEventList(stream, &stats);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(stats.events_parsed, 3u);
+  EXPECT_EQ(stats.Skipped(), 0u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*back)[i].kind, events[i].kind);
+    EXPECT_EQ((*back)[i].u, events[i].u);
+    EXPECT_EQ((*back)[i].v, events[i].v);
+  }
+}
+
+TEST(EventListTest, SkipsMalformedRowsWithCount) {
+  // Hardened like the edge-list reader: junk never discards the log. Bad
+  // ops, non-numeric fields, truncated rows, out-of-range ids, and
+  // self-loops are skipped and tallied per kind; valid rows still parse.
+  std::stringstream in(
+      "# header\n"
+      "% comment\n"
+      "\n"
+      "+ 0 1\n"
+      "* 0 2\n"          // bad op
+      "+ x 2\n"          // non-numeric
+      "+ 3\n"            // truncated
+      "- 0 4294967295\n"  // kInvalidVertex is reserved
+      "+ 5 5\n"          // self-loop
+      "- 1 2\n");
+  EventListStats stats;
+  auto events = ReadEventList(in, &stats);
+  ASSERT_TRUE(events.has_value());
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].kind, EdgeEvent::Kind::kInsert);
+  EXPECT_EQ((*events)[1].kind, EdgeEvent::Kind::kRemove);
+  EXPECT_EQ(stats.lines, 10u);
+  EXPECT_EQ(stats.comment_lines, 3u);
+  EXPECT_EQ(stats.malformed_lines, 4u);
+  EXPECT_EQ(stats.self_loops, 1u);
+  EXPECT_EQ(stats.events_parsed, 2u);
+  EXPECT_EQ(stats.Skipped(), 5u);
+}
+
+TEST(EventListTest, SkipCountersLandInMetricsRegistry) {
+  obs::MetricsRegistry::Global().Reset();
+  std::stringstream in("+ 0 1\nbad row\n+ 2 2\n");
+  EventListStats stats;
+  auto events = ReadEventList(in, &stats);
+  ASSERT_TRUE(events.has_value());
+  EXPECT_EQ(events->size(), 1u);
+  auto& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.GetCounter("io.events_skipped").Value(), 2u);
+  EXPECT_EQ(registry.GetCounter("io.events_malformed").Value(), 1u);
+  EXPECT_EQ(registry.GetCounter("io.events_self_loops").Value(), 1u);
+}
+
+TEST(EventListTest, FileRoundTripAndMissingFile) {
+  std::vector<EdgeEvent> events = {{EdgeEvent::Kind::kInsert, 7, 9}};
+  std::string path = ::testing::TempDir() + "/tkc_events.txt";
+  ASSERT_TRUE(WriteEventListFile(events, path));
+  auto back = ReadEventListFile(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0].u, 7u);
+  EXPECT_FALSE(ReadEventListFile("/no/such/events.txt").has_value());
 }
 
 TEST(VertexAttributesTest, RoundTrip) {

@@ -50,6 +50,26 @@ run_one() {
     echo "!! parallel peel kappa differs from serial" >&2
     exit 1
   fi
+  echo "== $sanitizer: engine replay CLI =="
+  # Stream a generated event log through the versioned engine (DeltaCsr
+  # overlay, batched maintenance, compaction, zero-copy snapshots) with
+  # --threads=4 so the TSan leg sees the snapshot analytics (parallel
+  # support kernel on the shared frozen CSR) interleaved with the serving
+  # path; --verify holds the maintained κ to a scratch recompute and the
+  # compaction-boundary certificate.
+  awk 'BEGIN {
+    srand(11); print "# sanitize replay events"
+    for (i = 0; i < 1500; i++) {
+      u = int(rand() * 2100); v = int(rand() * 2100)
+      if (u != v) print (rand() < 0.7 ? "+" : "-"), u, v
+    }
+  }' > "$smoke_dir/events.txt"
+  "$build_dir/tools/tkc" replay "$smoke_dir/g.txt" \
+    --events="$smoke_dir/events.txt" --batch=64 --query-every=5 \
+    --compact-edits=512 --threads=4 --verify \
+    --json-out="$smoke_dir/replay.json" | tail -n 2
+  "$build_dir/tools/json_check" "$smoke_dir/replay.json" \
+    --require=schema,verified,update_stats
   rm -rf "$smoke_dir"
   echo "== $sanitizer: OK =="
 }
