@@ -26,7 +26,7 @@ AnalysisContext::AnalysisContext(std::shared_ptr<const CsrGraph> csr,
 }
 
 const std::vector<uint32_t>& AnalysisContext::Supports() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!supports_.has_value()) {
     TKC_SPAN_PERF("support_count");
     obs::MetricsRegistry::Global()
@@ -55,7 +55,7 @@ const std::vector<uint32_t>& AnalysisContext::Supports() const {
 }
 
 const std::vector<Triangle>& AnalysisContext::Triangles() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!triangles_.has_value()) {
     TKC_SPAN("triangle_materialize");
     obs::MetricsRegistry::Global()
@@ -70,13 +70,13 @@ const std::vector<Triangle>& AnalysisContext::Triangles() const {
 
 uint64_t AnalysisContext::TriangleCount() const {
   Supports();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return triangle_count_;
 }
 
 uint32_t AnalysisContext::MaxSupport() const {
   Supports();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_support_;
 }
 

@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
 #include "tkc/graph/triangle.h"
+#include "tkc/util/thread_annotations.h"
 
 namespace tkc {
 
@@ -67,11 +67,16 @@ class AnalysisContext {
  private:
   std::shared_ptr<const CsrGraph> csr_;
   int threads_;
-  mutable std::mutex mu_;
-  mutable std::optional<std::vector<uint32_t>> supports_;
-  mutable std::optional<std::vector<Triangle>> triangles_;
-  mutable uint64_t triangle_count_ = 0;
-  mutable uint32_t max_support_ = 0;
+  // Lazy caches: filled at most once, under mu_. The references Supports()
+  // and Triangles() return outlive the critical section on purpose — once
+  // a cache is filled it is never mutated again, so post-initialization
+  // readers need no lock (the fill happens-before the return that handed
+  // them the reference).
+  mutable Mutex mu_;
+  mutable std::optional<std::vector<uint32_t>> supports_ TKC_GUARDED_BY(mu_);
+  mutable std::optional<std::vector<Triangle>> triangles_ TKC_GUARDED_BY(mu_);
+  mutable uint64_t triangle_count_ TKC_GUARDED_BY(mu_) = 0;
+  mutable uint32_t max_support_ TKC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tkc

@@ -66,7 +66,15 @@ TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
   result.order.assign(cap, kInvalidOrder);
 
   // κ̃ lives in an atomic array for the CAS decrements; dead edge ids keep
-  // support 0 and state kPeeled so no rule ever touches them.
+  // support 0 and state kPeeled so no rule ever touches them. This array
+  // and the per-worker `buffers` below are the round loop's only
+  // cross-thread state, and their contract is atomic-only / owner-only
+  // rather than lock-based (see docs/static_analysis.md):
+  //  * support[] is touched mid-round exclusively through the relaxed CAS
+  //    in Decrement — never a plain read-modify-write;
+  //  * buffers[w] is appended to only by worker w (each push guarded by
+  //    the unique k+1 -> k CAS transition), and drained by the coordinator
+  //    strictly between rounds, after the pool's fork/join barrier.
   auto support = std::make_unique<std::atomic<uint32_t>[]>(cap);
   std::vector<uint8_t> state(cap, kPeeled);
   uint64_t total_support = 0;

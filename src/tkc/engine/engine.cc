@@ -77,7 +77,10 @@ void TkcEngine::CompactNow() {
   const size_t edits = g.EditsSinceCompaction();
   std::shared_ptr<const CsrGraph> base = g.Compact();
   ++compactions_;
-  cache_valid_ = false;
+  {
+    MutexLock lock(snapshot_mu_);
+    cache_valid_ = false;
+  }
 
   auto& registry = obs::MetricsRegistry::Global();
   registry.GetCounter("engine.compactions").Add(1);
@@ -115,6 +118,7 @@ void TkcEngine::CompactNow() {
 EngineSnapshot TkcEngine::Snapshot() {
   TKC_SPAN("engine.snapshot");
   Compact();  // no-op when clean
+  MutexLock lock(snapshot_mu_);
   if (!cache_valid_) {
     // Zero-copy handoff: the AnalysisContext shares the DeltaCsr's base
     // snapshot. The κ vector is the one thing duplicated (the maintainer

@@ -11,6 +11,7 @@
 #include "tkc/graph/delta_csr.h"
 #include "tkc/graph/edge_event.h"
 #include "tkc/graph/graph.h"
+#include "tkc/util/thread_annotations.h"
 #include "tkc/verify/report.h"
 
 namespace tkc::engine {
@@ -70,18 +71,19 @@ class TkcEngine {
   /// Applies one event batch through the amortized maintenance path and
   /// compacts afterwards if the accumulated edits cross the policy
   /// threshold.
-  BatchStats ApplyBatch(std::span<const EdgeEvent> events);
+  BatchStats ApplyBatch(std::span<const EdgeEvent> events)
+      TKC_EXCLUDES(snapshot_mu_);
 
   /// Forces a compaction (freeze overlays into a new base, bump epoch).
   /// Returns false (and does nothing) if the view is already clean.
-  bool Compact();
+  bool Compact() TKC_EXCLUDES(snapshot_mu_);
 
   /// Returns the zero-copy snapshot of the current state, compacting
   /// first if edits are pending (a snapshot is always at an epoch
   /// boundary). Snapshots of the same epoch share one cached
   /// AnalysisContext and κ vector — repeated calls between edits cost
   /// nothing and keep lazily computed supports/triangles warm.
-  EngineSnapshot Snapshot();
+  EngineSnapshot Snapshot() TKC_EXCLUDES(snapshot_mu_);
 
   const DeltaCsr& graph() const { return dyn_.graph(); }
   const std::vector<uint32_t>& kappa() const { return dyn_.kappa(); }
@@ -101,19 +103,31 @@ class TkcEngine {
 
  private:
   bool ShouldCompact() const;
-  void CompactNow();
+  void CompactNow() TKC_EXCLUDES(snapshot_mu_);
 
+  // Mutation state: dyn_ (the DeltaCsr overlay plus the maintained κ) and
+  // everything below it is single-writer by contract — ApplyBatch /
+  // Compact / Snapshot must come from one thread (or be externally
+  // synchronized). The epoch counter lives in DeltaCsr and is published to
+  // snapshot readers through the shared_ptr handoff, not through a lock.
   EngineOptions options_;
   DynamicTriangleCoreT<DeltaCsr> dyn_;
   BatchStats last_batch_;
   size_t compactions_ = 0;
 
-  // Per-epoch snapshot cache (invalidated by compaction).
-  std::shared_ptr<const AnalysisContext> cached_context_;
-  std::shared_ptr<const std::vector<uint32_t>> cached_kappa_;
-  uint32_t cached_max_kappa_ = 0;
-  uint64_t cached_epoch_ = 0;
-  bool cache_valid_ = false;
+  // Per-epoch snapshot cache (invalidated by compaction). Snapshots are
+  // handed to arbitrary reader threads, so the cache itself is
+  // lock-protected: concurrent Snapshot() calls on a clean engine are safe
+  // and share one context, and the compiler holds every access to the
+  // MutexLock discipline.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const AnalysisContext> cached_context_
+      TKC_GUARDED_BY(snapshot_mu_);
+  std::shared_ptr<const std::vector<uint32_t>> cached_kappa_
+      TKC_GUARDED_BY(snapshot_mu_);
+  uint32_t cached_max_kappa_ TKC_GUARDED_BY(snapshot_mu_) = 0;
+  uint64_t cached_epoch_ TKC_GUARDED_BY(snapshot_mu_) = 0;
+  bool cache_valid_ TKC_GUARDED_BY(snapshot_mu_) = false;
 
   bool certificates_ok_ = true;
   verify::VerifyReport last_certificate_;

@@ -165,6 +165,13 @@ class DeltaCsr {
 
   /// Epoch id: bumped by every Compact(). Snapshots taken at the same epoch
   /// from a clean view see the identical base CSR object.
+  ///
+  /// Threading contract (checked by the engine's annotations, stated here
+  /// because DeltaCsr itself is single-writer): all mutation — including
+  /// Compact() and therefore this counter — happens on the owning thread;
+  /// reader threads only ever observe the epoch through an EngineSnapshot,
+  /// whose shared_ptr handoff provides the happens-before edge. No lock or
+  /// atomic is needed on this field as long as that discipline holds.
   uint64_t epoch() const { return epoch_; }
 
   /// True when edits have accumulated since the last compaction (the base

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -47,7 +48,10 @@ std::optional<TriangleCoreResult> ReadDecomposition(const Graph& g,
     std::istringstream fields(line);
     long long u = -1, v = -1, kappa = -1, order = -1;
     if (!(fields >> u >> v >> kappa >> order) || u < 0 || v < 0 ||
-        kappa < 0 || order < 0) {
+        kappa < 0 || order < 0 ||
+        u > static_cast<long long>(kInvalidVertex) - 1 ||
+        v > static_cast<long long>(kInvalidVertex) - 1 ||
+        kappa > static_cast<long long>(std::numeric_limits<uint32_t>::max())) {
       return std::nullopt;
     }
     EdgeId e = g.FindEdge(static_cast<VertexId>(u),

@@ -27,11 +27,12 @@ std::optional<SnapshotStream> ReadSnapshotStream(std::istream& in) {
       continue;
     }
     std::istringstream fields(line);
+    constexpr long long kMaxVertex = static_cast<long long>(kInvalidVertex) - 1;
     if (in_delta) {
       char op = 0;
       long long u = -1, v = -1;
       if (!(fields >> op >> u >> v) || (op != '+' && op != '-') || u < 0 ||
-          v < 0 || u == v) {
+          v < 0 || u > kMaxVertex || v > kMaxVertex || u == v) {
         return std::nullopt;
       }
       stream.deltas.back().push_back(
@@ -39,7 +40,10 @@ std::optional<SnapshotStream> ReadSnapshotStream(std::istream& in) {
            static_cast<VertexId>(u), static_cast<VertexId>(v)});
     } else {
       long long u = -1, v = -1;
-      if (!(fields >> u >> v) || u < 0 || v < 0) return std::nullopt;
+      if (!(fields >> u >> v) || u < 0 || v < 0 || u > kMaxVertex ||
+          v > kMaxVertex) {
+        return std::nullopt;
+      }
       if (u == v) continue;
       stream.base.AddEdge(static_cast<VertexId>(u),
                           static_cast<VertexId>(v));

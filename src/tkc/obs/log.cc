@@ -5,7 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
-#include <iostream>
+#include <iostream>  // std::cerr default sink. tkc-lint: allow(banned-api)
 
 #include "tkc/util/check.h"
 
@@ -107,6 +107,8 @@ void Logger::Log(LogLevel level, std::string_view event,
 }
 
 Logger& Logger::Global() {
+  // Leaky singleton: never destroyed, so logging stays safe during
+  // static destruction. tkc-lint: allow(raw-new-delete)
   static Logger* logger = new Logger(&std::cerr, LogLevel::kWarn);
   return *logger;
 }

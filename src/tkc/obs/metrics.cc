@@ -97,7 +97,7 @@ JsonValue Histogram::ToJson() const {
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -107,7 +107,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -116,7 +116,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -126,14 +126,14 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, c] : counters_) counters.Set(name, c->Value());
   JsonValue gauges = JsonValue::Object();
@@ -147,6 +147,8 @@ JsonValue MetricsRegistry::ToJson() const {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
+  // Leaky singleton: metrics may be touched from atexit paths after
+  // static destruction begins. tkc-lint: allow(raw-new-delete)
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }

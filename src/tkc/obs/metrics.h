@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "tkc/obs/json.h"
+#include "tkc/util/thread_annotations.h"
 
 namespace tkc::obs {
 
@@ -91,10 +91,16 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps are guarded; the metric objects they point to are not — each
+  // is internally atomic, and handles outlive any Get* critical section by
+  // design (find-or-create pins the unique_ptr for the registry lifetime).
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      TKC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      TKC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      TKC_GUARDED_BY(mu_);
 };
 
 }  // namespace tkc::obs

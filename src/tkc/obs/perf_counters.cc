@@ -138,6 +138,8 @@ struct PerfProbe {
 const PerfProbe& Probe() {
   static const PerfProbe* probe = [] {
     const PerfCounterGroup& group = ThreadPerfCounters();
+    // Leaky singleton: probed once, alive for the process.
+    // tkc-lint: allow(raw-new-delete)
     return new PerfProbe{group.available(), group.unavailable_reason(),
                          group.counter_mask()};
   }();

@@ -47,12 +47,15 @@ void SetTimelineThreadName(std::string name) {
 }
 
 void TimelineRecorder::Start(size_t capacity_per_thread) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   tracks_.clear();
-  capacity_per_thread_ = std::max<size_t>(capacity_per_thread, 1);
-  epoch_ns_ = SteadyNowNs();
+  capacity_per_thread_.store(std::max<size_t>(capacity_per_thread, 1),
+                             std::memory_order_relaxed);
+  epoch_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
   session_.store(g_session_counter.fetch_add(1, std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
+  // The release store publishes the session state above to any thread whose
+  // Record/NowNs acquires enabled_ afterwards.
   enabled_.store(true, std::memory_order_release);
 }
 
@@ -61,7 +64,7 @@ void TimelineRecorder::Stop() {
 }
 
 void TimelineRecorder::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   enabled_.store(false, std::memory_order_release);
   session_.store(g_session_counter.fetch_add(1, std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
@@ -70,7 +73,8 @@ void TimelineRecorder::Reset() {
 
 uint64_t TimelineRecorder::NowNs() const {
   uint64_t now = SteadyNowNs();
-  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+  const uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  return now >= epoch ? now - epoch : 0;
 }
 
 TimelineRecorder::ThreadTrack* TimelineRecorder::TrackForThisThread() {
@@ -79,13 +83,13 @@ TimelineRecorder::ThreadTrack* TimelineRecorder::TrackForThisThread() {
       tls_track_ref.track != nullptr) {
     return static_cast<ThreadTrack*>(tls_track_ref.track);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Re-check the session under the lock: a Start/Reset racing with this
   // registration must not hand out a track from the dropped generation.
   session = session_.load(std::memory_order_relaxed);
   auto track = std::make_unique<ThreadTrack>();
   track->name = tls_thread_name.empty() ? "main" : tls_thread_name;
-  track->events.reserve(capacity_per_thread_);
+  track->events.reserve(capacity_per_thread_.load(std::memory_order_relaxed));
   tracks_.push_back(std::move(track));
   tls_track_ref = {this, session, tracks_.back().get()};
   return tracks_.back().get();
@@ -97,8 +101,9 @@ void TimelineRecorder::Record(std::string_view name, uint64_t start_ns,
                               size_t num_args) {
   if (!enabled()) return;
   ThreadTrack* track = TrackForThisThread();
-  if (track->events.size() >= capacity_per_thread_) {
-    ++track->dropped;
+  if (track->events.size() >=
+      capacity_per_thread_.load(std::memory_order_relaxed)) {
+    track->dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   track->events.emplace_back();
@@ -114,26 +119,28 @@ void TimelineRecorder::Record(std::string_view name, uint64_t start_ns,
 }
 
 uint64_t TimelineRecorder::DroppedEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t dropped = 0;
-  for (const auto& t : tracks_) dropped += t->dropped;
+  for (const auto& t : tracks_) {
+    dropped += t->dropped.load(std::memory_order_relaxed);
+  }
   return dropped;
 }
 
 size_t TimelineRecorder::NumTracks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tracks_.size();
 }
 
 size_t TimelineRecorder::NumEvents() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
   for (const auto& t : tracks_) n += t->events.size();
   return n;
 }
 
 void TimelineRecorder::AppendTo(JsonValue& doc) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
 
   // Deterministic track ids: "main" first, then (length, name) order so
   // numeric suffixes sort naturally (worker-2 before worker-10).
@@ -154,13 +161,15 @@ void TimelineRecorder::AppendTo(JsonValue& doc) const {
   uint64_t dropped = 0;
   JsonValue tracks = JsonValue::Array();
   for (size_t tid = 0; tid < ordered.size(); ++tid) {
-    dropped += ordered[tid]->dropped;
+    const uint64_t track_dropped =
+        ordered[tid]->dropped.load(std::memory_order_relaxed);
+    dropped += track_dropped;
     tracks.Push(JsonValue::Object()
                     .Set("tid", static_cast<uint64_t>(tid))
                     .Set("name", ordered[tid]->name)
                     .Set("events",
                          static_cast<uint64_t>(ordered[tid]->events.size()))
-                    .Set("dropped", ordered[tid]->dropped));
+                    .Set("dropped", track_dropped));
   }
 
   JsonValue events = JsonValue::Array();
@@ -194,7 +203,9 @@ void TimelineRecorder::AppendTo(JsonValue& doc) const {
 
   doc.Set("clock", "steady")
       .Set("time_unit", "us")
-      .Set("capacity_per_thread", static_cast<uint64_t>(capacity_per_thread_))
+      .Set("capacity_per_thread",
+           static_cast<uint64_t>(
+               capacity_per_thread_.load(std::memory_order_relaxed)))
       .Set("dropped_events", dropped)
       .Set("tracks", std::move(tracks))
       .Set("traceEvents", std::move(events));
@@ -208,6 +219,8 @@ JsonValue TimelineRecorder::ToJson() const {
 }
 
 TimelineRecorder& TimelineRecorder::Global() {
+  // Leaky singleton: worker threads may record during shutdown.
+  // tkc-lint: allow(raw-new-delete)
   static TimelineRecorder* recorder = new TimelineRecorder();
   return *recorder;
 }

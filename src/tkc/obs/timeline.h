@@ -3,15 +3,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "tkc/obs/json.h"
+#include "tkc/util/thread_annotations.h"
 
 namespace tkc::obs {
 
@@ -97,18 +98,32 @@ class TimelineRecorder {
  private:
   struct ThreadTrack {
     std::string name;
+    // Appended to only by the owning thread, with no lock: each track is a
+    // single-writer buffer, and readers (AppendTo/NumEvents) require the
+    // recorded work to have quiesced first — the class contract the
+    // analysis cannot express, so it is stated here instead.
     std::vector<TimelineEvent> events;  // reserved once, never reallocated
-    uint64_t dropped = 0;
+    // Incremented lock-free by the owning thread, summed by DroppedEvents
+    // on any thread: atomic so an export racing a straggling Record reads
+    // a coherent count.
+    std::atomic<uint64_t> dropped{0};
   };
 
   ThreadTrack* TrackForThisThread();
 
+  // Session state read on the lock-free record path (Record/NowNs consult
+  // these on every event, from any thread) and written only by Start/Reset:
+  // atomics with the enabled_ release/acquire pair providing the
+  // happens-before edge for sessions started before the recorded work.
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> session_{0};
-  uint64_t epoch_ns_ = 0;  // steady-clock ns at Start()
-  size_t capacity_per_thread_ = kDefaultCapacityPerThread;
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ThreadTrack>> tracks_;
+  std::atomic<uint64_t> epoch_ns_{0};  // steady-clock ns at Start()
+  std::atomic<size_t> capacity_per_thread_{kDefaultCapacityPerThread};
+
+  // The track table itself (registration + export) is lock-protected; the
+  // per-track buffers above are deliberately outside the guard.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadTrack>> tracks_ TKC_GUARDED_BY(mu_);
 };
 
 /// Names the calling thread's timeline track (applies to tracks created

@@ -86,6 +86,8 @@ JsonValue PhaseTracer::ToJson() const {
 }
 
 PhaseTracer& PhaseTracer::Global() {
+  // Leaky singleton: spans may close during static destruction.
+  // tkc-lint: allow(raw-new-delete)
   static PhaseTracer* tracer = new PhaseTracer();
   return *tracer;
 }

@@ -48,10 +48,10 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
@@ -63,18 +63,18 @@ void ThreadPool::WorkerLoop(int worker) {
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stopping_ || (job_ != nullptr && job_epoch_ != seen_epoch);
-      });
+      MutexLock lock(mu_);
+      while (!stopping_ && (job_ == nullptr || job_epoch_ == seen_epoch)) {
+        work_cv_.Wait(mu_);
+      }
       if (stopping_) return;
       seen_epoch = job_epoch_;
       job = job_;
     }
     (*job)(worker);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) done_cv_.notify_all();
+      MutexLock lock(mu_);
+      if (--pending_ == 0) done_cv_.NotifyAll();
     }
   }
 }
@@ -85,30 +85,38 @@ void ThreadPool::Run(const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     ++job_epoch_;
     pending_ = num_threads_ - 1;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   fn(0);  // the calling thread is worker 0
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.Wait(mu_);
     job_ = nullptr;
   }
 }
 
 namespace {
 
-std::mutex g_pool_mu;
-std::mutex g_run_mu;  // one fork/join job at a time on the shared pool
-std::unique_ptr<ThreadPool> g_pool;
+// Lock order: g_run_mu before g_pool_mu, declared below and enforced by
+// the -Wthread-safety-beta leg. Holding g_run_mu across both the pool
+// resolution and the Run call keeps a concurrent PoolWithAtLeast from
+// destroying the pool an in-flight ParallelFor is executing on (the
+// replacement path also serializes on g_run_mu).
+Mutex g_run_mu;  // one fork/join job at a time on the shared pool
+Mutex g_pool_mu TKC_ACQUIRED_AFTER(g_run_mu);
+std::unique_ptr<ThreadPool> g_pool TKC_GUARDED_BY(g_pool_mu);
 thread_local bool tls_in_parallel_for = false;
 
-// Grows (never shrinks) the shared pool to hold at least `threads` workers.
-ThreadPool& PoolWithAtLeast(int threads) {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
+// Grows (never shrinks) the shared pool to hold at least `threads`
+// workers. The returned pool stays alive until the next growth; callers
+// that will Run on it must hold g_run_mu across resolution AND the Run so
+// a concurrent growth cannot destroy it out from under them.
+ThreadPool& PoolWithAtLeast(int threads) TKC_REQUIRES(g_run_mu) {
+  MutexLock lock(g_pool_mu);
   if (!g_pool || g_pool->num_threads() < threads) {
     g_pool = std::make_unique<ThreadPool>(threads);
   }
@@ -116,8 +124,6 @@ ThreadPool& PoolWithAtLeast(int threads) {
 }
 
 }  // namespace
-
-ThreadPool& GlobalThreadPool() { return PoolWithAtLeast(DefaultThreads()); }
 
 void ParallelFor(int threads, size_t n,
                  const std::function<void(int, size_t, size_t)>& fn) {
@@ -130,8 +136,8 @@ void ParallelFor(int threads, size_t n,
     fn(0, 0, n);
     return;
   }
+  MutexLock run_lock(g_run_mu);
   ThreadPool& pool = PoolWithAtLeast(chunks);
-  std::lock_guard<std::mutex> run_lock(g_run_mu);
   pool.Run([&](int worker) {
     if (worker >= chunks) return;
     const size_t begin = n * static_cast<size_t>(worker) /

@@ -1,12 +1,13 @@
 #ifndef TKC_UTIL_PARALLEL_H_
 #define TKC_UTIL_PARALLEL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "tkc/util/thread_annotations.h"
 
 namespace tkc {
 
@@ -46,20 +47,21 @@ class ThreadPool {
 
   const int num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
-  uint64_t job_epoch_ = 0;
-  int pending_ = 0;
-  bool stopping_ = false;
-};
 
-/// Shared process pool sized to DefaultThreads(); lazily (re)built when the
-/// default changes. Not for concurrent use from multiple ParallelFor calls —
-/// the phase kernels are fork/join at the top level, so a single shared pool
-/// suffices; an inner call from a worker would deadlock and is checked.
-ThreadPool& GlobalThreadPool();
+  // Fork/join rendezvous state. Everything below is written by Run (the
+  // coordinator) and read by every worker, so the whole block is guarded;
+  // the compiler rejects any access outside a MutexLock on mu_. The
+  // function object *pointed to* by job_ is owned by Run's caller and only
+  // invoked between the dispatch and completion barriers, which is why the
+  // pointee itself needs no guard.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  const std::function<void(int)>* job_ TKC_GUARDED_BY(mu_) = nullptr;
+  uint64_t job_epoch_ TKC_GUARDED_BY(mu_) = 0;
+  int pending_ TKC_GUARDED_BY(mu_) = 0;
+  bool stopping_ TKC_GUARDED_BY(mu_) = false;
+};
 
 /// Deterministic static range partition of [0, n): chunk t is
 /// [t*n/threads, (t+1)*n/threads). Invokes fn(thread, begin, end) for each

@@ -1,0 +1,152 @@
+#ifndef TKC_UTIL_THREAD_ANNOTATIONS_H_
+#define TKC_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+/// Clang Thread Safety Analysis ("C/C++ Thread Safety Analysis", Hutchins
+/// et al., CGO'14) attribute macros plus the annotated Mutex/MutexLock
+/// wrappers every piece of cross-thread state in this library uses.
+///
+/// The analysis is a compile-time capability checker: a member declared
+/// TKC_GUARDED_BY(mu_) can only be touched while `mu_` is held, a function
+/// declared TKC_REQUIRES(mu_) can only be called with it held, and
+/// violations are diagnostics under `-Wthread-safety` (promoted to errors
+/// by TKC_WERROR on the clang CI leg). On compilers without the attributes
+/// (GCC) every macro expands to nothing and the wrappers reduce to plain
+/// std::mutex / std::lock_guard semantics — zero overhead, zero behavior
+/// change.
+///
+/// Conventions (see docs/static_analysis.md for the full guide):
+///  * Shared state uses tkc::Mutex, never a bare std::mutex — the analysis
+///    cannot see through an unannotated lock type.
+///  * Lock scopes use tkc::MutexLock (RAII). Manual Lock()/Unlock() pairs
+///    are reserved for the rare non-scoped protocol and must carry
+///    TKC_ACQUIRE/TKC_RELEASE on the enclosing function.
+///  * TKC_NO_THREAD_SAFETY_ANALYSIS is an escape hatch of last resort and
+///    every use must carry an inline justification comment; `tkc-lint`
+///    and code review treat a bare one as a defect.
+
+#if defined(__clang__)
+#define TKC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define TKC_THREAD_ANNOTATION_(x)  // not supported: expands to nothing
+#endif
+
+/// Declares a type to be a capability (lockable). The string names the
+/// capability kind in diagnostics ("mutex").
+#define TKC_CAPABILITY(x) TKC_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define TKC_SCOPED_CAPABILITY TKC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated member may only be read or written while the given
+/// capability is held.
+#define TKC_GUARDED_BY(x) TKC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee of the annotated pointer member is protected by the given
+/// capability (the pointer itself is not).
+#define TKC_PT_GUARDED_BY(x) TKC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function acquires the capability and holds it on return.
+#define TKC_ACQUIRE(...) \
+  TKC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define TKC_RELEASE(...) \
+  TKC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The caller must hold the capability to call the function (held on entry
+/// and on exit).
+#define TKC_REQUIRES(...) \
+  TKC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (deadlock guard for functions
+/// that acquire it themselves).
+#define TKC_EXCLUDES(...) TKC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations: this capability must be acquired before /
+/// after the listed ones. Checked under -Wthread-safety-beta.
+#define TKC_ACQUIRED_BEFORE(...) \
+  TKC_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define TKC_ACQUIRED_AFTER(...) \
+  TKC_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the given capability (accessor).
+#define TKC_RETURN_CAPABILITY(x) TKC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use MUST
+/// carry an inline comment justifying why the contract cannot be expressed.
+#define TKC_NO_THREAD_SAFETY_ANALYSIS \
+  TKC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace tkc {
+
+class CondVar;
+
+/// std::mutex with the capability attribute — the only lock type shared
+/// state in this library may use (the analysis cannot check a bare
+/// std::mutex). Same size and cost as std::mutex.
+class TKC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TKC_ACQUIRE() { mu_.lock(); }
+  void Unlock() TKC_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a tkc::Mutex (drop-in for std::lock_guard). The
+/// scoped-capability attribute tells the analysis the capability is held
+/// from construction to the end of the enclosing scope.
+class TKC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TKC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() TKC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with tkc::Mutex. Wait atomically releases the
+/// mutex and re-holds it on return; following the standard annotation idiom
+/// the capability is treated as held across the call (the analysis does not
+/// model the release/reacquire window). Write wait loops inline at the call
+/// site — predicates passed as lambdas would hide the guarded reads from
+/// the analysis:
+///
+///   MutexLock lock(mu_);
+///   while (!ready_) cv_.Wait(mu_);   // ready_ is TKC_GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. `mu` must be held; it is released while
+  /// blocking and re-held on return.
+  void Wait(Mutex& mu) TKC_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership returns to the caller's MutexLock
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_UTIL_THREAD_ANNOTATIONS_H_

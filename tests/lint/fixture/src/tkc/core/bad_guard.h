@@ -1,0 +1,4 @@
+#ifndef WRONG_GUARD_H
+#define WRONG_GUARD_H
+// TKC-L040: guard should be TKC_CORE_BAD_GUARD_H_.
+#endif  // WRONG_GUARD_H

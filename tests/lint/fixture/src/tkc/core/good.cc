@@ -1,0 +1,31 @@
+// Clean fixture file: documented metrics (exact + dynamic prefix), a
+// suppressed singleton, a canonical span name, a justified analysis
+// escape hatch.
+#include <string>
+
+#include "tkc/obs/metrics.h"
+
+namespace tkc {
+
+struct Thing {
+  int x = 0;
+};
+
+Thing& Singleton() {
+  // Leaky on purpose; fixture for the suppression path.
+  // tkc-lint: allow(raw-new-delete)
+  static Thing* t = new Thing();
+  return *t;
+}
+
+void Good(int k) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("good.metric").Add(1);
+  reg.GetCounter("good.level." + std::to_string(k)).Add(1);
+  TKC_SPAN("good.span_name");
+}
+
+// Owner-only buffer handoff; barrier in the caller provides the ordering.
+void Justified() TKC_NO_THREAD_SAFETY_ANALYSIS {}
+
+}  // namespace tkc

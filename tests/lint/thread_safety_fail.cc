@@ -1,0 +1,28 @@
+// Compile-FAIL smoke for the thread-safety gate: reading a
+// TKC_GUARDED_BY member without holding its mutex. Under Clang with
+// -Wthread-safety -Werror=thread-safety-analysis this translation unit
+// MUST NOT compile — tests/CMakeLists.txt try_compiles it and fails the
+// configure if it ever does (which would mean the annotations lost their
+// teeth, e.g. a macro definition regressed to a no-op).
+#include "tkc/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++value_;  // BUG: mu_ not held.
+  }
+
+ private:
+  tkc::Mutex mu_;
+  int value_ TKC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Compile-PASS control for the thread-safety smoke: identical to
+// thread_safety_fail.cc except the guarded member is accessed under
+// MutexLock. If this unit fails to build, the fail-side result is
+// meaningless (a missing include or broken flag, not the analysis), so
+// tests/CMakeLists.txt requires ok-compiles AND fail-rejects.
+#include "tkc/util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    tkc::MutexLock lock(mu_);
+    ++value_;
+  }
+
+ private:
+  tkc::Mutex mu_;
+  int value_ TKC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -15,6 +15,14 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 mode="${1:-all}"
 
+# Convention-lint summary up front (informational here — the dedicated
+# CI step gates on it; see docs/static_analysis.md), so a sanitizer run
+# also tells you whether the tree drifted from its conventions.
+if command -v python3 >/dev/null 2>&1; then
+  echo "== tkc-lint =="
+  python3 "$repo_root/tools/tkc_lint.py" --root="$repo_root" --quiet || true
+fi
+
 run_one() {
   local sanitizer="$1"
   local build_dir="$repo_root/build-$sanitizer"
