@@ -94,6 +94,57 @@ void BM_SupportCount_CsrFull(benchmark::State& state) {
 }
 BENCHMARK(BM_SupportCount_CsrFull)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Per-kernel support pass, serial, kernel identity in the benchmark name so
+// the checked-in baseline rows are keyable by bench_compare. A kernel whose
+// ISA this CPU lacks is skipped (reported, not silently run as scalar).
+void SupportCountKernel(benchmark::State& state, IntersectKernel kernel) {
+  if (!KernelIsaSupported(kernel)) {
+    state.SkipWithError("ISA not supported on this CPU");
+    return;
+  }
+  Graph g = MakeGraph(state.range(0));
+  CsrGraph csr(g);
+  for (auto _ : state) {
+    std::vector<uint32_t> support =
+        ComputeEdgeSupports(csr, /*threads=*/1, kernel);
+    benchmark::DoNotOptimize(support.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr.NumEdges()));
+}
+void BM_SupportCount_Scalar(benchmark::State& state) {
+  SupportCountKernel(state, IntersectKernel::kScalar);
+}
+void BM_SupportCount_Sse(benchmark::State& state) {
+  SupportCountKernel(state, IntersectKernel::kSse);
+}
+void BM_SupportCount_Avx2(benchmark::State& state) {
+  SupportCountKernel(state, IntersectKernel::kAvx2);
+}
+void BM_SupportCount_Bitmap(benchmark::State& state) {
+  SupportCountKernel(state, IntersectKernel::kBitmap);
+}
+BENCHMARK(BM_SupportCount_Scalar)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SupportCount_Sse)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SupportCount_Avx2)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SupportCount_Bitmap)->Arg(10000)->Arg(50000);
+
+// Same serial pass on a degree-relabeled snapshot — the delta against
+// BM_SupportCount_Csr (same kernel, original labeling) is the locality
+// payoff of packing hubs into low vertex ids. Freeze cost is outside the
+// timed loop, like the CSR build above.
+void BM_SupportCount_CsrRelabel(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  CsrGraph csr = CsrGraph::Freeze(g, RelabelMode::kDegree);
+  for (auto _ : state) {
+    std::vector<uint32_t> support = ComputeEdgeSupports(csr, /*threads=*/1);
+    benchmark::DoNotOptimize(support.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr.NumEdges()));
+}
+BENCHMARK(BM_SupportCount_CsrRelabel)->Arg(10000)->Arg(50000);
+
 void BM_SupportCount_CsrParallel(benchmark::State& state) {
   Graph g = MakeGraph(state.range(0));
   CsrGraph csr(g);
@@ -224,6 +275,39 @@ void BM_DensityPlotBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DensityPlotBuild)->Arg(1000)->Arg(10000)->Arg(50000);
 
+// Sweep of the merge/gallop cutoff knob on a 100:1 skewed pair (10000 vs
+// 100 entries): cutoffs below the ratio take the galloping path, cutoffs
+// above force the linear merge. The knee should sit near
+// kGallopCutoffRatio (=16); if a hardware generation moves it, this is the
+// case that shows where (see docs/performance.md).
+void BM_IntersectHybrid_Cutoff(benchmark::State& state) {
+  const size_t cutoff = static_cast<size_t>(state.range(0));
+  std::vector<Neighbor> a(10000), b(100);
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    a[i] = Neighbor{3 * i, i};
+  }
+  for (uint32_t j = 0; j < b.size(); ++j) {
+    b[j] = Neighbor{300 * j, j};  // every 100th entry of `a` matches
+  }
+  for (auto _ : state) {
+    IntersectStats stats;
+    uint64_t hits = 0;
+    IntersectSortedHybrid(a.data(), a.data() + a.size(), b.data(),
+                          b.data() + b.size(), stats,
+                          [&](VertexId, EdgeId, EdgeId) { ++hits; }, cutoff);
+    benchmark::DoNotOptimize(hits);
+    benchmark::DoNotOptimize(stats.Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(b.size()));
+}
+BENCHMARK(BM_IntersectHybrid_Cutoff)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(static_cast<int64_t>(kGallopCutoffRatio))
+    ->Arg(64)
+    ->Arg(1 << 20);
+
 void BM_EdgeLookup(benchmark::State& state) {
   Graph g = MakeGraph(state.range(0));
   Rng rng(13);
@@ -260,7 +344,8 @@ int WriteBenchEnvelope(const std::string& raw_path,
   tkc::obs::JsonValue doc = tkc::obs::JsonValue::Object();
   doc.Set("schema", "tkc.bench.v1")
       .Set("bench", "bench_micro")
-      .Set("threads", static_cast<long long>(tkc::DefaultThreads()));
+      .Set("threads", static_cast<long long>(tkc::DefaultThreads()))
+      .Set("kernel", tkc::KernelName(tkc::CurrentKernel()));
   if (const tkc::obs::JsonValue* context = raw->Find("context")) {
     doc.Set("machine_context", *context);
   }
@@ -298,7 +383,21 @@ int main(int argc, char** argv) {
     constexpr std::string_view kJsonOut = "--json-out=";
     constexpr std::string_view kTraceOut = "--trace-out=";
     constexpr std::string_view kThreads = "--threads=";
-    if (arg.substr(0, kJsonOut.size()) == kJsonOut) {
+    constexpr std::string_view kKernel = "--kernel=";
+    if (arg.substr(0, kKernel.size()) == kKernel) {
+      tkc::IntersectKernel kernel = tkc::IntersectKernel::kAuto;
+      const std::string name(arg.substr(kKernel.size()));
+      if (!tkc::ParseKernel(name, &kernel)) {
+        std::fprintf(stderr, "unknown --kernel: %s\n", name.c_str());
+        return 2;
+      }
+      if (!tkc::KernelIsaSupported(kernel)) {
+        std::fprintf(stderr, "--kernel=%s not supported by this CPU; "
+                     "falling back to scalar\n", name.c_str());
+        kernel = tkc::IntersectKernel::kScalar;
+      }
+      tkc::SetDefaultKernel(kernel);
+    } else if (arg.substr(0, kJsonOut.size()) == kJsonOut) {
       json_out = std::string(arg.substr(kJsonOut.size()));
       args.emplace_back("--benchmark_out=" + json_out + ".raw");
       args.emplace_back("--benchmark_out_format=json");

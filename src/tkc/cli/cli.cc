@@ -17,6 +17,7 @@
 #include "tkc/core/triangle_core.h"
 #include "tkc/engine/engine.h"
 #include "tkc/gen/generators.h"
+#include "tkc/graph/intersect_simd.h"
 #include "tkc/graph/kcore.h"
 #include "tkc/graph/stats.h"
 #include "tkc/io/edge_list.h"
@@ -105,23 +106,38 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
   TriangleStorageMode mode = args.Flag("mode", "recompute") == "store"
                                  ? TriangleStorageMode::kStoreTriangles
                                  : TriangleStorageMode::kRecomputeTriangles;
+  const std::string relabel_text = args.Flag("relabel", "none");
+  if (relabel_text != "none" && relabel_text != "degree") {
+    err << "error: unknown --relabel '" << relabel_text << "'\n";
+    return 2;
+  }
   Timer t;
-  AnalysisContext ctx(*g);
+  // --relabel=degree freezes a hub-packed snapshot for locality; κ, the
+  // peel order, and the output rows are invariant under the renumbering
+  // (OriginalEdge translates back), so the bytes below never change.
+  std::optional<AnalysisContext> ctx;
+  if (relabel_text == "degree") {
+    ctx.emplace(CsrGraph::Freeze(*g, RelabelMode::kDegree));
+  } else {
+    ctx.emplace(*g);
+  }
   // With more than one worker, peel with the round-synchronous parallel
   // formulation — κ output is bit-identical to the serial bucket peel.
-  const bool parallel = ctx.threads() > 1;
-  TriangleCoreResult r = parallel ? ComputeTriangleCoresParallel(ctx)
-                                  : ComputeTriangleCores(ctx, mode);
+  const bool parallel = ctx->threads() > 1;
+  TriangleCoreResult r = parallel ? ComputeTriangleCoresParallel(*ctx)
+                                  : ComputeTriangleCores(*ctx, mode);
   double seconds = t.Seconds();
   obs::Logger::Global().Info("decompose.done",
                              {{"edges", g->NumEdges()},
                               {"triangles", r.triangle_count},
                               {"max_kappa", r.max_kappa},
                               {"peel", parallel ? "parallel" : "serial"},
+                              {"relabel", relabel_text},
                               {"seconds", seconds}});
   out << "# u v kappa co_clique_size\n";
-  ctx.csr().ForEachEdge([&](EdgeId e, const Edge& edge) {
-    out << edge.u << ' ' << edge.v << ' ' << r.kappa[e] << ' '
+  ctx->csr().ForEachEdge([&](EdgeId e, const Edge&) {
+    const Edge oe = ctx->csr().OriginalEdge(e);
+    out << oe.u << ' ' << oe.v << ' ' << r.kappa[e] << ' '
         << r.CocliqueSize(e) << '\n';
   });
   out << "# edges=" << g->NumEdges() << " triangles=" << r.triangle_count
@@ -558,7 +574,9 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
 void PrintUsage(std::ostream& err) {
   err << "usage: tkc <command> ... [--log-level=L] [--metrics-out=FILE]\n"
          "                         [--trace-out=FILE] [--threads=N]\n"
+         "                         [--kernel=K]\n"
          "  decompose <edges.txt> [--mode=store|recompute]\n"
+         "            [--relabel=none|degree]\n"
          "  kcore     <edges.txt>\n"
          "  stats     <edges.txt>\n"
          "  plot      <edges.txt> [--svg=FILE] [--width=N] [--height=N]\n"
@@ -585,7 +603,13 @@ void PrintUsage(std::ostream& err) {
          "  --threads=N                         worker threads for the "
          "parallel kernels\n"
          "                                      (0 = all hardware threads; "
-         "1 = serial)\n";
+         "1 = serial)\n"
+         "  --kernel=scalar|sse|avx2|bitmap|auto intersection kernel for "
+         "the triangle\n"
+         "                                      hot path (auto = widest "
+         "supported ISA;\n"
+         "                                      all kernels are "
+         "bit-identical in output)\n";
 }
 
 }  // namespace
@@ -598,7 +622,7 @@ namespace {
 bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
                 std::ostream& err) {
   static const std::map<std::string, std::vector<std::string>> kAllowed = {
-      {"decompose", {"mode"}},
+      {"decompose", {"mode", "relabel"}},
       {"kcore", {}},
       {"stats", {}},
       {"plot", {"svg", "width", "height"}},
@@ -615,7 +639,8 @@ bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
   if (it == kAllowed.end()) return true;  // unknown command: handled later
   for (const auto& [key, value] : parsed.flags) {
     if (key == "log-level" || key == "log-timestamps" ||
-        key == "metrics-out" || key == "trace-out" || key == "threads") {
+        key == "metrics-out" || key == "trace-out" || key == "threads" ||
+        key == "kernel") {
       continue;
     }
     if (std::find(it->second.begin(), it->second.end(), key) ==
@@ -704,6 +729,24 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   SetDefaultThreads(threads_flag == 0 ? HardwareThreads()
                                       : static_cast<int>(threads_flag));
 
+  // Intersection kernel for the triangle/support hot path. Like the thread
+  // count, set after the registry reset so the triangle.kernel gauge
+  // survives into the dump. An unsupported ISA degrades to scalar with a
+  // warning rather than failing — results are identical by contract, so a
+  // pinned --kernel in a script stays portable across machines.
+  const std::string kernel_text = parsed.Flag("kernel", "auto");
+  IntersectKernel kernel_flag = IntersectKernel::kAuto;
+  if (!ParseKernel(kernel_text, &kernel_flag)) {
+    err << "error: unknown --kernel '" << kernel_text << "'\n";
+    return 2;
+  }
+  if (!KernelIsaSupported(kernel_flag)) {
+    logger.Warn("kernel.isa_unsupported",
+                {{"requested", kernel_text}, {"fallback", "scalar"}});
+    kernel_flag = IntersectKernel::kScalar;
+  }
+  SetDefaultKernel(kernel_flag);
+
   const std::string& cmd = parsed.positional[0];
   g_update_stats_json.reset();  // only dynamic commands repopulate it
   int code;
@@ -717,6 +760,7 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     doc.Set("schema", "tkc.metrics.v1")
         .Set("command", cmd)
         .Set("exit_code", code)
+        .Set("kernel", KernelName(CurrentKernel()))
         .Set("metrics", obs::MetricsRegistry::Global().ToJson())
         .Set("trace", obs::PhaseTracer::Global().ToJson());
     if (g_update_stats_json.has_value()) {

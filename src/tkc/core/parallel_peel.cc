@@ -167,8 +167,8 @@ TriangleCoreResult PeelRoundSynchronous(const CsrGraph& g,
         for (size_t i = begin; i < end; ++i) {
           const EdgeId e = frontier[i];
           const Edge edge = g.GetEdge(e);
-          g.ForEachCommonNeighbor(
-              edge.u, edge.v, [&](VertexId, EdgeId p1, EdgeId p2) {
+          IntersectNeighbors(
+              g, edge.u, edge.v, [&](VertexId, EdgeId p1, EdgeId p2) {
                 const uint8_t s1 = state[p1];
                 const uint8_t s2 = state[p2];
                 if (s1 == kPeeled || s2 == kPeeled) return;

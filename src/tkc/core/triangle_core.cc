@@ -126,10 +126,10 @@ void PeelCore(const GraphT& g, TriangleStorageMode mode,
         for (const auto& [e1, e2] : stored[et]) relax(e1, e2);
       } else {
         Edge edge = g.GetEdge(et);
-        g.ForEachCommonNeighbor(edge.u, edge.v,
-                                [&](VertexId, EdgeId e1, EdgeId e2) {
-                                  relax(e1, e2);
-                                });
+        IntersectNeighbors(g, edge.u, edge.v,
+                           [&](VertexId, EdgeId e1, EdgeId e2) {
+                             relax(e1, e2);
+                           });
       }
     }
     TKC_SPAN_COUNTER("edges_peeled", live.size());
@@ -170,7 +170,7 @@ TriangleCoreResult PeelTriangleCores(const GraphT& g,
     uint64_t wedges = 0;
     g.ForEachEdge([&](EdgeId e, const Edge& edge) {
       wedges += std::min(g.Degree(edge.u), g.Degree(edge.v));
-      g.ForEachCommonNeighbor(edge.u, edge.v,
+      IntersectNeighbors(g, edge.u, edge.v,
                               [&](VertexId w, EdgeId uw, EdgeId vw) {
                                 if (w <= edge.v) return;
                                 ++support[e];

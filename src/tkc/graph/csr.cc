@@ -12,11 +12,17 @@
 
 namespace tkc {
 
-CsrGraph::CsrGraph(const Graph& g) {
+CsrGraph::CsrGraph(const Graph& g, RelabelMode relabel) {
   InitFrom(g);
+  if (relabel == RelabelMode::kDegree) ApplyDegreeRelabel();
   FinishBuild();
-  TKC_VERIFY_L2(verify::CheckOrDie(verify::CheckMirrorConsistency(g, *this),
-                                   "CsrGraph::CsrGraph"));
+  // The mirror oracle compares adjacency in source ids; a relabeled
+  // snapshot is intentionally a different labeling of the same graph, so
+  // only the structural self-audit in FinishBuild applies there.
+  if (!IsRelabeled()) {
+    TKC_VERIFY_L2(verify::CheckOrDie(verify::CheckMirrorConsistency(g, *this),
+                                     "CsrGraph::CsrGraph"));
+  }
 }
 
 void CsrGraph::FinishBuild() {
@@ -50,6 +56,44 @@ void CsrGraph::BuildOrientedView() {
     for (const Neighbor& nb : Neighbors(v)) {
       if (rank_[nb.vertex] > rank_[v]) *out++ = nb;
     }
+  }
+}
+
+void CsrGraph::ApplyDegreeRelabel() {
+  const VertexId n = NumVertices();
+  orig_of_.resize(n);
+  std::iota(orig_of_.begin(), orig_of_.end(), VertexId{0});
+  // Hubs first: descending degree, ties by original id so the permutation
+  // is deterministic. This is the opposite end of the order from the
+  // oriented Rank() — relabeling packs the hot adjacency, ranking still
+  // orients edges low-degree → high-degree on the new ids.
+  std::sort(orig_of_.begin(), orig_of_.end(), [&](VertexId a, VertexId b) {
+    const uint32_t da = Degree(a), db = Degree(b);
+    return da != db ? da > db : a < b;
+  });
+  std::vector<VertexId> new_of(n);
+  for (VertexId i = 0; i < n; ++i) new_of[orig_of_[i]] = i;
+
+  std::vector<size_t> offsets(n + 1, 0);
+  for (VertexId i = 0; i < n; ++i) {
+    offsets[i + 1] = offsets[i] + Degree(orig_of_[i]);
+  }
+  std::vector<Neighbor> entries(entries_.size());
+  for (VertexId i = 0; i < n; ++i) {
+    Neighbor* out = entries.data() + offsets[i];
+    for (const Neighbor& nb : Neighbors(orig_of_[i])) {
+      *out++ = Neighbor{new_of[nb.vertex], nb.edge};
+    }
+    std::sort(entries.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              entries.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
+  }
+  offsets_ = std::move(offsets);
+  entries_ = std::move(entries);
+  for (Edge& edge : edges_) {
+    if (edge.u == kInvalidVertex) continue;
+    edge.u = new_of[edge.u];
+    edge.v = new_of[edge.v];
+    if (edge.u > edge.v) std::swap(edge.u, edge.v);
   }
 }
 

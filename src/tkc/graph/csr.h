@@ -27,10 +27,23 @@ namespace tkc {
 /// graph's degeneracy — the standard route to making triangle enumeration
 /// O(Σ min-degree over oriented wedges) instead of intersecting full
 /// adjacency lists.
+/// Optional vertex relabeling applied while freezing. kDegree renumbers
+/// vertices by descending degree (ties by original id ascending), packing
+/// the hubs — the vertices every oriented intersection keeps touching —
+/// into the low end of the id space so their adjacency shares cache lines.
+/// EdgeIds are NOT remapped, so per-edge attribute arrays (support, κ,
+/// peel order) computed on a relabeled snapshot are directly comparable to
+/// ones computed without relabeling; only vertex ids move, and
+/// OriginalId/OriginalEdge translate results back for reporting.
+enum class RelabelMode {
+  kNone,
+  kDegree,
+};
+
 class CsrGraph {
  public:
-  /// Freezes `g`. O(|V| + |E|).
-  explicit CsrGraph(const Graph& g);
+  /// Freezes `g`. O(|V| + |E|) (plus a sort of |V| when relabeling).
+  explicit CsrGraph(const Graph& g, RelabelMode relabel = RelabelMode::kNone);
 
   /// Freezes any graph-like source exposing NumVertices/Degree/Neighbors/
   /// EdgeCapacity/ForEachEdge with live-only sorted adjacency (Graph,
@@ -38,9 +51,11 @@ class CsrGraph {
   /// per-edge attribute arrays stay valid against the snapshot. This is the
   /// kernel DeltaCsr::Compact() rebuilds its base through.
   template <typename GraphT>
-  static CsrGraph Freeze(const GraphT& g) {
+  static CsrGraph Freeze(const GraphT& g,
+                         RelabelMode relabel = RelabelMode::kNone) {
     CsrGraph csr;
     csr.InitFrom(g);
+    if (relabel == RelabelMode::kDegree) csr.ApplyDegreeRelabel();
     csr.FinishBuild();
     return csr;
   }
@@ -121,6 +136,26 @@ class CsrGraph {
     return e < edges_.size() && edges_[e].u != kInvalidVertex;
   }
 
+  /// Whether a relabeling pass renumbered the vertices of this snapshot.
+  bool IsRelabeled() const { return !orig_of_.empty(); }
+
+  /// Source-graph id of snapshot vertex `v` (identity when not relabeled).
+  /// Every user-facing surface — CLI rows, artifacts, hierarchies — must
+  /// report through this so relabeling stays an invisible layout detail.
+  VertexId OriginalId(VertexId v) const {
+    return orig_of_.empty() ? v : orig_of_[v];
+  }
+
+  /// Edge `e` with endpoints translated back to source-graph ids,
+  /// re-normalized u < v. EdgeIds themselves are never remapped.
+  Edge OriginalEdge(EdgeId e) const {
+    Edge edge = edges_[e];
+    edge.u = OriginalId(edge.u);
+    edge.v = OriginalId(edge.v);
+    if (edge.u > edge.v) std::swap(edge.u, edge.v);
+    return edge;
+  }
+
   EdgeId FindEdge(VertexId u, VertexId v) const;
   bool HasEdge(VertexId u, VertexId v) const {
     return FindEdge(u, v) != kInvalidEdge;
@@ -196,11 +231,13 @@ class CsrGraph {
 
   void FinishBuild();
   void BuildOrientedView();
+  void ApplyDegreeRelabel();
 
   std::vector<size_t> offsets_;    // |V|+1
   std::vector<Neighbor> entries_;  // 2|E|, sorted per vertex
   std::vector<Edge> edges_;        // by original EdgeId (holes preserved)
   size_t edge_capacity_ = 0;
+  std::vector<VertexId> orig_of_;  // |V| when relabeled, else empty
   // Degree-ordered orientation (see class comment).
   std::vector<uint32_t> rank_;              // |V|, permutation
   std::vector<size_t> oriented_offsets_;    // |V|+1

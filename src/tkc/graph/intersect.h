@@ -9,23 +9,31 @@
 
 namespace tkc {
 
-/// Work counters for one batch of sorted-adjacency intersections. The two
-/// fields separate the hybrid kernel's regimes so the cutoff is measurable:
+/// Work counters for one batch of sorted-adjacency intersections. The
+/// fields separate the kernels' regimes so the cutoffs are measurable:
 /// `merge_steps` counts loop iterations of the linear two-pointer merge,
 /// `gallop_probes` counts element comparisons of the exponential-search
-/// path. Their sum is the actual intersection work — the value reported as
-/// `triangle.wedges_examined` (the old min-degree estimate over-charged
-/// oriented passes, which intersect out-lists far shorter than the full
-/// adjacency).
+/// path, `simd_lanes` counts lanes processed by the sse/avx2 block kernels
+/// (intersect_simd.h), and `bitmap_probes` counts membership tests by the
+/// hub-bitmap support kernel. Their sum is the actual intersection work —
+/// the value reported as `triangle.wedges_examined` (the old min-degree
+/// estimate over-charged oriented passes, which intersect out-lists far
+/// shorter than the full adjacency).
 struct IntersectStats {
   uint64_t merge_steps = 0;
   uint64_t gallop_probes = 0;
+  uint64_t simd_lanes = 0;
+  uint64_t bitmap_probes = 0;
 
-  uint64_t Total() const { return merge_steps + gallop_probes; }
+  uint64_t Total() const {
+    return merge_steps + gallop_probes + simd_lanes + bitmap_probes;
+  }
 
   IntersectStats& operator+=(const IntersectStats& o) {
     merge_steps += o.merge_steps;
     gallop_probes += o.gallop_probes;
+    simd_lanes += o.simd_lanes;
+    bitmap_probes += o.bitmap_probes;
     return *this;
   }
 };
@@ -99,19 +107,22 @@ void IntersectGallop(const Neighbor* short_begin, const Neighbor* short_end,
 /// `fn(VertexId w, EdgeId ea, EdgeId eb)` per common vertex, where `ea`
 /// comes from the [ab, ae) range and `eb` from [bb, be). Chooses linear
 /// merge for comparable lengths and galloping search when one range is
-/// over kGallopCutoffRatio times longer; actual work lands in `stats`.
+/// over `gallop_cutoff` times longer (default kGallopCutoffRatio; the
+/// parameter exists so tests and bench_micro can sweep the knob); actual
+/// work lands in `stats`.
 template <typename Fn>
 void IntersectSortedHybrid(const Neighbor* ab, const Neighbor* ae,
                            const Neighbor* bb, const Neighbor* be,
-                           IntersectStats& stats, Fn&& fn) {
+                           IntersectStats& stats, Fn&& fn,
+                           size_t gallop_cutoff = kGallopCutoffRatio) {
   const size_t la = static_cast<size_t>(ae - ab);
   const size_t lb = static_cast<size_t>(be - bb);
   if (la == 0 || lb == 0) return;
-  if (la > lb * kGallopCutoffRatio) {
+  if (la > lb * gallop_cutoff) {
     detail::IntersectGallop(bb, be, ab, ae, /*swapped=*/true, stats, fn);
     return;
   }
-  if (lb > la * kGallopCutoffRatio) {
+  if (lb > la * gallop_cutoff) {
     detail::IntersectGallop(ab, ae, bb, be, /*swapped=*/false, stats, fn);
     return;
   }

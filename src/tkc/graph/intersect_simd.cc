@@ -1,0 +1,139 @@
+#include "tkc/graph/intersect_simd.h"
+
+#include <atomic>
+
+#include "tkc/obs/metrics.h"
+
+namespace tkc {
+
+namespace {
+
+// Process-default kernel, mirroring the default-threads convention in
+// util/parallel.h. Stored as the raw requested value (kAuto allowed);
+// resolution happens at read time so the gauge and CurrentKernel() always
+// agree with what actually runs.
+std::atomic<int> g_default_kernel{static_cast<int>(IntersectKernel::kAuto)};
+
+bool CpuHasSse42() {
+#if defined(TKC_SIMD_X86)
+  return __builtin_cpu_supports("sse4.2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(TKC_SIMD_X86)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* KernelName(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kScalar:
+      return "scalar";
+    case IntersectKernel::kSse:
+      return "sse";
+    case IntersectKernel::kAvx2:
+      return "avx2";
+    case IntersectKernel::kBitmap:
+      return "bitmap";
+    case IntersectKernel::kAuto:
+      return "auto";
+  }
+  return "scalar";
+}
+
+bool ParseKernel(std::string_view name, IntersectKernel* out) {
+  if (name == "scalar") {
+    *out = IntersectKernel::kScalar;
+  } else if (name == "sse") {
+    *out = IntersectKernel::kSse;
+  } else if (name == "avx2") {
+    *out = IntersectKernel::kAvx2;
+  } else if (name == "bitmap") {
+    *out = IntersectKernel::kBitmap;
+  } else if (name == "auto") {
+    *out = IntersectKernel::kAuto;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool KernelIsaSupported(IntersectKernel kernel) {
+  switch (kernel) {
+    case IntersectKernel::kSse:
+      return CpuHasSse42();
+    case IntersectKernel::kAvx2:
+      return CpuHasAvx2();
+    case IntersectKernel::kScalar:
+    case IntersectKernel::kBitmap:
+    case IntersectKernel::kAuto:
+      return true;
+  }
+  return true;
+}
+
+IntersectKernel ResolveKernel(IntersectKernel kernel) {
+  if (kernel == IntersectKernel::kAuto) {
+    if (CpuHasAvx2()) return IntersectKernel::kAvx2;
+    if (CpuHasSse42()) return IntersectKernel::kSse;
+    return IntersectKernel::kScalar;
+  }
+  if (!KernelIsaSupported(kernel)) return IntersectKernel::kScalar;
+  return kernel;
+}
+
+IntersectKernel DefaultKernel() {
+  return static_cast<IntersectKernel>(
+      g_default_kernel.load(std::memory_order_relaxed));
+}
+
+void SetDefaultKernel(IntersectKernel kernel) {
+  g_default_kernel.store(static_cast<int>(kernel),
+                         std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetGauge("triangle.kernel")
+      .Set(static_cast<double>(ResolveKernel(kernel)));
+}
+
+IntersectKernel CurrentKernel() { return ResolveKernel(DefaultKernel()); }
+
+uint64_t IntersectDispatchCount(IntersectKernel kernel, const Neighbor* ab,
+                                const Neighbor* ae, const Neighbor* bb,
+                                const Neighbor* be, IntersectStats& stats) {
+  const size_t la = static_cast<size_t>(ae - ab);
+  const size_t lb = static_cast<size_t>(be - bb);
+  if (la == 0 || lb == 0) return 0;
+  uint64_t n = 0;
+  if (la > lb * kGallopCutoffRatio || lb > la * kGallopCutoffRatio) {
+    IntersectSortedHybrid(ab, ae, bb, be, stats,
+                          [&](VertexId, EdgeId, EdgeId) { ++n; });
+    return n;
+  }
+#if defined(TKC_SIMD_X86)
+  if (kernel == IntersectKernel::kBitmap) {
+    kernel = ResolveKernel(IntersectKernel::kAuto);
+  }
+  switch (kernel) {
+    case IntersectKernel::kAvx2:
+      return detail::IntersectAvx2Count(ab, ae, bb, be, stats);
+    case IntersectKernel::kSse:
+      return detail::IntersectSseCount(ab, ae, bb, be, stats);
+    default:
+      break;
+  }
+#else
+  (void)kernel;
+#endif
+  IntersectSortedHybrid(ab, ae, bb, be, stats,
+                        [&](VertexId, EdgeId, EdgeId) { ++n; });
+  return n;
+}
+
+}  // namespace tkc

@@ -25,11 +25,17 @@ void RecordEnumeration(const IntersectStats& stats, uint64_t triangles) {
       registry.GetCounter("triangle.merge_steps");
   static obs::Counter& gallop_counter =
       registry.GetCounter("triangle.gallop_probes");
+  static obs::Counter& simd_counter =
+      registry.GetCounter("triangle.simd_lanes_used");
+  static obs::Counter& bitmap_counter =
+      registry.GetCounter("triangle.bitmap_probes");
   static obs::Counter& triangle_counter =
       registry.GetCounter("triangle.triangles_found");
   wedge_counter.Add(stats.Total());
   merge_counter.Add(stats.merge_steps);
   gallop_counter.Add(stats.gallop_probes);
+  simd_counter.Add(stats.simd_lanes);
+  bitmap_counter.Add(stats.bitmap_probes);
   triangle_counter.Add(triangles);
   TKC_SPAN_COUNTER("wedges_examined", stats.Total());
   TKC_SPAN_COUNTER("triangles_found", triangles);
@@ -62,23 +68,71 @@ uint64_t MergeCommonNeighbors(const GraphT& g, VertexId u, VertexId v,
 
 // Oriented support pass over the edge-id range [begin, end): each triangle
 // is discovered exactly once, at the edge joining its two lowest-rank
-// vertices, by a hybrid intersection of the endpoints' out-lists. Support
-// increments land at arbitrary edge ids, so callers that parallelize this
-// give each worker a full-size `support` shard.
-void OrientedSupportRange(const CsrGraph& g, EdgeId begin, EdgeId end,
-                          uint32_t* support, IntersectStats& stats,
-                          uint64_t& triangles) {
+// vertices, by intersecting the endpoints' out-lists through `kernel`
+// (already resolved — never kAuto). Support increments land at arbitrary
+// edge ids, so callers that parallelize this give each worker a full-size
+// `support` shard.
+void OrientedSupportRange(const CsrGraph& g, IntersectKernel kernel,
+                          EdgeId begin, EdgeId end, uint32_t* support,
+                          IntersectStats& stats, uint64_t& triangles) {
   for (EdgeId e = begin; e < end; ++e) {
     if (!g.IsEdgeAlive(e)) continue;
     const Edge oe = g.OrientedEdge(e);
-    IntersectSortedHybrid(g.OutNeighborsBegin(oe.u), g.OutNeighborsEnd(oe.u),
-                          g.OutNeighborsBegin(oe.v), g.OutNeighborsEnd(oe.v),
-                          stats, [&](VertexId, EdgeId aw, EdgeId bw) {
-                            ++support[e];
+    IntersectDispatch(kernel, g.OutNeighborsBegin(oe.u),
+                      g.OutNeighborsEnd(oe.u), g.OutNeighborsBegin(oe.v),
+                      g.OutNeighborsEnd(oe.v), stats,
+                      [&](VertexId, EdgeId aw, EdgeId bw) {
+                        ++support[e];
+                        ++support[aw];
+                        ++support[bw];
+                        ++triangles;
+                      });
+  }
+}
+
+// Vertex-centric twin of OrientedSupportRange for the bitmap kernel, over
+// the vertex range [begin, end). Iterating each (v, e_uv) in Out(u) visits
+// every live edge exactly once at its lower-rank endpoint u, so the two
+// partitions discover the identical triangle set — only the work per
+// discovery differs. A hub u (OutDegree ≥ kBitmapHubCutoff) stamps its
+// out-list into the scratch bitmap once and probes each neighbor's
+// out-list against it — O(1) per probe instead of a merge re-walking
+// Out(u) per edge; below the cutoff the stamp doesn't amortize and the
+// dispatched per-edge intersection runs instead.
+void BitmapSupportRange(const CsrGraph& g, VertexId begin, VertexId end,
+                        uint32_t* support, IntersectStats& stats,
+                        uint64_t& triangles, VertexBitmap& bitmap) {
+  const IntersectKernel simd = ResolveKernel(IntersectKernel::kAuto);
+  for (VertexId u = begin; u < end; ++u) {
+    const auto out_u = g.OutNeighbors(u);
+    if (out_u.empty()) continue;
+    if (g.OutDegree(u) >= kBitmapHubCutoff) {
+      for (const Neighbor& nb : out_u) bitmap.Set(nb.vertex, nb.edge);
+      for (const Neighbor& nb : out_u) {
+        for (const Neighbor& vw : g.OutNeighbors(nb.vertex)) {
+          ++stats.bitmap_probes;
+          if (bitmap.Test(vw.vertex)) {
+            ++support[nb.edge];
+            ++support[bitmap.EdgeOf(vw.vertex)];
+            ++support[vw.edge];
+            ++triangles;
+          }
+        }
+      }
+      for (const Neighbor& nb : out_u) bitmap.Clear(nb.vertex);
+    } else {
+      for (const Neighbor& nb : out_u) {
+        IntersectDispatch(simd, out_u.begin(), out_u.end(),
+                          g.OutNeighborsBegin(nb.vertex),
+                          g.OutNeighborsEnd(nb.vertex), stats,
+                          [&](VertexId, EdgeId aw, EdgeId bw) {
+                            ++support[nb.edge];
                             ++support[aw];
                             ++support[bw];
                             ++triangles;
                           });
+      }
+    }
   }
 }
 
@@ -108,38 +162,58 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g) {
   return support;
 }
 
-std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads) {
+std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads,
+                                          IntersectKernel kernel) {
   TKC_SPAN("triangle.supports");
   threads = ResolveThreads(threads);
+  kernel = kernel == IntersectKernel::kAuto ? CurrentKernel()
+                                            : ResolveKernel(kernel);
+  const bool bitmap = kernel == IntersectKernel::kBitmap;
   const size_t cap = g.EdgeCapacity();
+  // The bitmap kernel partitions the vertex space (each edge owned by its
+  // unique lower-rank endpoint); the others partition the edge-id space.
+  const size_t domain = bitmap ? g.NumVertices() : cap;
   std::vector<uint32_t> support(cap, 0);
   uint64_t triangles = 0;
   IntersectStats stats;
 
-  if (threads <= 1 || cap == 0) {
-    OrientedSupportRange(g, 0, static_cast<EdgeId>(cap), support.data(),
-                         stats, triangles);
+  if (threads <= 1 || domain == 0) {
+    if (bitmap && domain > 0) {
+      VertexBitmap scratch(g.NumVertices());
+      BitmapSupportRange(g, 0, g.NumVertices(), support.data(), stats,
+                         triangles, scratch);
+    } else {
+      OrientedSupportRange(g, kernel, 0, static_cast<EdgeId>(cap),
+                           support.data(), stats, triangles);
+    }
     RecordEnumeration(stats, triangles);
     return support;
   }
 
   // Each worker owns a full-size partial-support shard and discovers the
   // triangles whose lowest-rank edge falls in its static chunk of the
-  // edge-id space; a second pass reduces the shards in fixed worker order.
-  // Plain uint32 additions commute exactly, so the output is identical to
-  // the serial path for any thread count.
+  // partition domain; a second pass reduces the shards in fixed worker
+  // order. Plain uint32 additions commute exactly, so the output is
+  // identical to the serial path for any thread count.
   struct Shard {
     std::vector<uint32_t> support;
     uint64_t triangles = 0;
     IntersectStats stats;
   };
   std::vector<Shard> shards(static_cast<size_t>(threads));
-  ParallelFor(threads, cap, [&](int worker, size_t begin, size_t end) {
+  ParallelFor(threads, domain, [&](int worker, size_t begin, size_t end) {
     Shard& shard = shards[static_cast<size_t>(worker)];
     shard.support.assign(cap, 0);
-    OrientedSupportRange(g, static_cast<EdgeId>(begin),
-                         static_cast<EdgeId>(end), shard.support.data(),
-                         shard.stats, shard.triangles);
+    if (bitmap) {
+      VertexBitmap scratch(g.NumVertices());
+      BitmapSupportRange(g, static_cast<VertexId>(begin),
+                         static_cast<VertexId>(end), shard.support.data(),
+                         shard.stats, shard.triangles, scratch);
+    } else {
+      OrientedSupportRange(g, kernel, static_cast<EdgeId>(begin),
+                           static_cast<EdgeId>(end), shard.support.data(),
+                           shard.stats, shard.triangles);
+    }
   });
   ParallelFor(threads, cap, [&](int, size_t begin, size_t end) {
     for (size_t e = begin; e < end; ++e) {
@@ -190,27 +264,61 @@ uint64_t CountTriangles(const Graph& g) {
   return n;
 }
 
-uint64_t CountTriangles(const CsrGraph& g, int threads) {
+uint64_t CountTriangles(const CsrGraph& g, int threads,
+                        IntersectKernel kernel) {
   TKC_SPAN("triangle.count");
   threads = ResolveThreads(threads);
-  const size_t cap = g.EdgeCapacity();
+  kernel = kernel == IntersectKernel::kAuto ? CurrentKernel()
+                                            : ResolveKernel(kernel);
   struct Partial {
     uint64_t triangles = 0;
     IntersectStats stats;
   };
   std::vector<Partial> partial(static_cast<size_t>(std::max(threads, 1)));
-  ParallelFor(threads, cap, [&](int worker, size_t begin, size_t end) {
-    Partial& p = partial[static_cast<size_t>(worker)];
-    for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
-      if (!g.IsEdgeAlive(e)) continue;
-      const Edge oe = g.OrientedEdge(e);
-      IntersectSortedHybrid(g.OutNeighborsBegin(oe.u),
-                            g.OutNeighborsEnd(oe.u),
-                            g.OutNeighborsBegin(oe.v),
-                            g.OutNeighborsEnd(oe.v), p.stats,
-                            [&](VertexId, EdgeId, EdgeId) { ++p.triangles; });
-    }
-  });
+  if (kernel == IntersectKernel::kBitmap) {
+    // Vertex-centric count (see BitmapSupportRange): hubs stamp their
+    // out-list once and count bitmap hits; the rest run the dispatched
+    // count-only kernel per out-edge.
+    const IntersectKernel simd = ResolveKernel(IntersectKernel::kAuto);
+    ParallelFor(threads, g.NumVertices(),
+                [&](int worker, size_t begin, size_t end) {
+      Partial& p = partial[static_cast<size_t>(worker)];
+      VertexBitmap bitmap(g.NumVertices());
+      for (VertexId u = static_cast<VertexId>(begin); u < end; ++u) {
+        const auto out_u = g.OutNeighbors(u);
+        if (out_u.empty()) continue;
+        if (g.OutDegree(u) >= kBitmapHubCutoff) {
+          for (const Neighbor& nb : out_u) bitmap.Set(nb.vertex, nb.edge);
+          for (const Neighbor& nb : out_u) {
+            for (const Neighbor& vw : g.OutNeighbors(nb.vertex)) {
+              ++p.stats.bitmap_probes;
+              p.triangles += bitmap.Test(vw.vertex);
+            }
+          }
+          for (const Neighbor& nb : out_u) bitmap.Clear(nb.vertex);
+        } else {
+          for (const Neighbor& nb : out_u) {
+            p.triangles += IntersectDispatchCount(
+                simd, out_u.begin(), out_u.end(),
+                g.OutNeighborsBegin(nb.vertex), g.OutNeighborsEnd(nb.vertex),
+                p.stats);
+          }
+        }
+      }
+    });
+  } else {
+    ParallelFor(threads, g.EdgeCapacity(),
+                [&](int worker, size_t begin, size_t end) {
+      Partial& p = partial[static_cast<size_t>(worker)];
+      for (EdgeId e = static_cast<EdgeId>(begin); e < end; ++e) {
+        if (!g.IsEdgeAlive(e)) continue;
+        const Edge oe = g.OrientedEdge(e);
+        p.triangles += IntersectDispatchCount(
+            kernel, g.OutNeighborsBegin(oe.u), g.OutNeighborsEnd(oe.u),
+            g.OutNeighborsBegin(oe.v), g.OutNeighborsEnd(oe.v), p.stats);
+      }
+    });
+  }
   uint64_t n = 0;
   IntersectStats stats;
   for (const Partial& p : partial) {

@@ -6,6 +6,7 @@
 
 #include "tkc/graph/csr.h"
 #include "tkc/graph/graph.h"
+#include "tkc/graph/intersect_simd.h"
 
 namespace tkc {
 
@@ -17,11 +18,15 @@ struct Triangle {
 
 /// Invokes `fn(VertexId w, EdgeId e1, EdgeId e2)` for each triangle on the
 /// live edge `e = {u,v}`, where `w` is the apex, `e1 = {u,w}`, `e2 = {v,w}`.
-/// GraphT is Graph or CsrGraph (any type with GetEdge/ForEachCommonNeighbor).
+/// GraphT is Graph, CsrGraph, or DeltaCsr (any type with GetEdge/Neighbors).
+/// Runs through the process-default intersection kernel (intersect_simd.h)
+/// — all kernels emit identical (w, e1, e2) triples in identical order, so
+/// every layer built on this hook (peeling, certificates, the dynamic
+/// cascades) is kernel-agnostic.
 template <typename GraphT, typename Fn>
 void ForEachTriangleOnEdge(const GraphT& g, EdgeId e, Fn&& fn) {
   Edge edge = g.GetEdge(e);
-  g.ForEachCommonNeighbor(edge.u, edge.v, std::forward<Fn>(fn));
+  IntersectNeighbors(g, edge.u, edge.v, std::forward<Fn>(fn));
 }
 
 /// Number of triangles containing edge `e` (the edge's *support*).
@@ -35,14 +40,18 @@ std::vector<uint32_t> ComputeEdgeSupports(const Graph& g);
 
 /// The shared support kernel over a frozen CSR snapshot, running on the
 /// degree-ordered oriented view: each triangle is found exactly once at the
-/// edge joining its two lowest-rank vertices by a hybrid merge/gallop
-/// intersection of out-lists (see intersect.h), so per-edge work is bounded
-/// by the out-degrees (≤ degeneracy) instead of min full degree. `threads`
-/// follows the ResolveThreads convention (0 = process default, 1 = serial);
-/// the edge-id space is statically partitioned and per-thread partial
-/// supports are reduced in thread order, so the result is identical — bit
-/// for bit — for every thread count, and equal to the Graph overload's.
-std::vector<uint32_t> ComputeEdgeSupports(const CsrGraph& g, int threads = 1);
+/// edge joining its two lowest-rank vertices by intersecting the endpoints'
+/// out-lists, so per-edge work is bounded by the out-degrees (≤ degeneracy)
+/// instead of min full degree. `threads` follows the ResolveThreads
+/// convention (0 = process default, 1 = serial); work is statically
+/// partitioned and per-thread partial supports are reduced in thread order,
+/// so the result is identical — bit for bit — for every thread count and
+/// every `kernel` (kAuto = the process default from SetDefaultKernel;
+/// kBitmap switches to the vertex-centric hub pass), and equal to the
+/// Graph overload's.
+std::vector<uint32_t> ComputeEdgeSupports(
+    const CsrGraph& g, int threads = 1,
+    IntersectKernel kernel = IntersectKernel::kAuto);
 
 /// Reference support pass over the *full* (undirected) adjacency — the
 /// pre-oriented kernel, kept as the differential baseline for tests and the
@@ -52,7 +61,8 @@ std::vector<uint32_t> ComputeEdgeSupportsFullScan(const CsrGraph& g);
 
 /// Total number of distinct triangles in the graph.
 uint64_t CountTriangles(const Graph& g);
-uint64_t CountTriangles(const CsrGraph& g, int threads = 1);
+uint64_t CountTriangles(const CsrGraph& g, int threads = 1,
+                        IntersectKernel kernel = IntersectKernel::kAuto);
 
 /// Invokes `fn(const Triangle&)` exactly once per triangle in the graph.
 /// Enumeration is ordered: a < b < c.

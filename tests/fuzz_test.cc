@@ -21,6 +21,8 @@
 #include "tkc/core/parallel_peel.h"
 #include "tkc/gen/generators.h"
 #include "tkc/graph/delta_csr.h"
+#include "tkc/graph/intersect_simd.h"
+#include "tkc/graph/triangle.h"
 #include "tkc/util/random.h"
 #include "tkc/verify/certificate.h"
 #include "tkc/verify/oracle.h"
@@ -238,6 +240,89 @@ INSTANTIATE_TEST_SUITE_P(
       name += std::get<2>(info.param) == PeelMode::kParallel ? "_parpeel"
                                                              : "_serialpeel";
       return name;
+    });
+
+// --- Kernel axis: every intersection kernel against the scalar oracle ---
+//
+// The SIMD/bitmap kernels promise bit-identical supports and κ at any
+// thread count. This driver churns a power-law graph with a planted
+// 40-clique (out-degrees well past kBitmapHubCutoff, so the hub-bitmap
+// path actually fires) and periodically holds per-kernel supports to the
+// single-threaded scalar recount, and the full decomposition to the
+// κ-certificate with the kernel installed process-wide.
+
+class ScopedDefaultKernel {
+ public:
+  explicit ScopedDefaultKernel(IntersectKernel kernel)
+      : saved_(DefaultKernel()) {
+    SetDefaultKernel(kernel);
+  }
+  ~ScopedDefaultKernel() { SetDefaultKernel(saved_); }
+
+ private:
+  IntersectKernel saved_;
+};
+
+class KernelDifferentialFuzzTest
+    : public ::testing::TestWithParam<std::tuple<IntersectKernel, int>> {};
+
+TEST_P(KernelDifferentialFuzzTest, SupportsAndKappaMatchScalarOracle) {
+  const auto [kernel, threads] = GetParam();
+  Rng rng(2012 + static_cast<uint64_t>(ResolveKernel(kernel)) * 101 +
+          static_cast<uint64_t>(threads));
+  Graph base = PowerLawCluster(120, 3, 0.55, rng);
+  PlantRandomClique(base, 40, rng);
+
+  Graph g = base;
+  constexpr int kSteps = 150;
+  constexpr int kCheckEvery = 30;
+  for (int step = 1; step <= kSteps; ++step) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(g.NumVertices()));
+    if (u == v) continue;
+    if (g.HasEdge(u, v)) {
+      g.RemoveEdge(u, v);
+    } else {
+      g.AddEdge(u, v);
+    }
+    if (step % kCheckEvery != 0 && step != kSteps) continue;
+
+    CsrGraph csr = CsrGraph::Freeze(g);
+    const std::vector<uint32_t> oracle =
+        ComputeEdgeSupports(csr, /*threads=*/1, IntersectKernel::kScalar);
+    const std::vector<uint32_t> got = ComputeEdgeSupports(csr, threads, kernel);
+    ASSERT_EQ(got, oracle) << "step " << step << " kernel "
+                           << KernelName(kernel) << " threads " << threads;
+    ASSERT_EQ(CountTriangles(csr, threads, kernel),
+              CountTriangles(csr, 1, IntersectKernel::kScalar))
+        << "step " << step;
+
+    // Full decomposition with the kernel installed as the process default —
+    // serial and parallel peel both route through IntersectNeighbors.
+    ScopedDefaultKernel scoped(kernel);
+    AnalysisContext ctx(g, threads);
+    TriangleCoreResult serial = ComputeTriangleCores(ctx);
+    TriangleCoreResult parallel = ComputeTriangleCoresParallel(ctx);
+    ASSERT_EQ(serial.kappa, parallel.kappa) << "step " << step;
+    verify::VerifyReport cert = verify::CheckKappaCertificate(g, serial.kappa);
+    ASSERT_TRUE(cert.AllPassed())
+        << "step " << step << ": " << cert.FirstFailure()->name << " — "
+        << cert.FirstFailure()->detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsAndThreads, KernelDifferentialFuzzTest,
+    ::testing::Combine(::testing::Values(IntersectKernel::kScalar,
+                                         IntersectKernel::kSse,
+                                         IntersectKernel::kAvx2,
+                                         IntersectKernel::kBitmap,
+                                         IntersectKernel::kAuto),
+                       ::testing::Values(1, 4)),
+    [](const ::testing::TestParamInfo<
+        KernelDifferentialFuzzTest::ParamType>& info) {
+      return std::string(KernelName(std::get<0>(info.param))) + "_t" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // --- Batch axis: ApplyBatch vs one-at-a-time, κ compared by endpoints ---

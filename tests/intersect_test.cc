@@ -1,0 +1,287 @@
+// Differential and edge-case coverage for the intersection kernels: the
+// merge/gallop hybrid (intersect.h) against the SSE/AVX2 block kernels and
+// the dispatch layer (intersect_simd.h). Every kernel must emit identical
+// (w, ea, eb) triples in identical order — the bit-identical contract the
+// whole triangle path rests on.
+
+#include "tkc/graph/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "tkc/graph/intersect_simd.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+using Triple = std::tuple<VertexId, EdgeId, EdgeId>;
+
+std::vector<Triple> RunHybrid(const std::vector<Neighbor>& a,
+                              const std::vector<Neighbor>& b,
+                              IntersectStats* stats = nullptr,
+                              size_t cutoff = kGallopCutoffRatio) {
+  IntersectStats local;
+  IntersectStats& s = stats ? *stats : local;
+  std::vector<Triple> out;
+  IntersectSortedHybrid(
+      a.data(), a.data() + a.size(), b.data(), b.data() + b.size(), s,
+      [&](VertexId w, EdgeId ea, EdgeId eb) { out.emplace_back(w, ea, eb); },
+      cutoff);
+  return out;
+}
+
+std::vector<Triple> RunDispatch(IntersectKernel kernel,
+                                const std::vector<Neighbor>& a,
+                                const std::vector<Neighbor>& b,
+                                IntersectStats* stats = nullptr) {
+  IntersectStats local;
+  IntersectStats& s = stats ? *stats : local;
+  std::vector<Triple> out;
+  IntersectDispatch(
+      ResolveKernel(kernel), a.data(), a.data() + a.size(), b.data(),
+      b.data() + b.size(), s,
+      [&](VertexId w, EdgeId ea, EdgeId eb) { out.emplace_back(w, ea, eb); });
+  return out;
+}
+
+// Sorted list of n entries: vertices = base + i*stride, edges tagged with
+// `tag` in the high bits so a-side and b-side ids are distinguishable.
+std::vector<Neighbor> MakeList(uint32_t n, uint32_t base, uint32_t stride,
+                               uint32_t tag) {
+  std::vector<Neighbor> out(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out[i] = Neighbor{base + i * stride, (tag << 24) | i};
+  }
+  return out;
+}
+
+std::vector<Neighbor> RandomSortedList(uint32_t n, uint32_t universe,
+                                       uint32_t tag, Rng& rng) {
+  std::vector<bool> member(universe, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    member[static_cast<size_t>(rng.NextBounded(universe))] = true;
+  }
+  std::vector<Neighbor> out;
+  uint32_t id = 0;
+  for (uint32_t v = 0; v < universe; ++v) {
+    if (member[v]) out.push_back(Neighbor{v, (tag << 24) | id++});
+  }
+  return out;
+}
+
+const IntersectKernel kAllKernels[] = {
+    IntersectKernel::kScalar, IntersectKernel::kSse, IntersectKernel::kAvx2,
+    IntersectKernel::kBitmap, IntersectKernel::kAuto};
+
+TEST(IntersectHybridTest, EmptyLists) {
+  const std::vector<Neighbor> empty;
+  const auto some = MakeList(5, 0, 2, 1);
+  EXPECT_TRUE(RunHybrid(empty, empty).empty());
+  EXPECT_TRUE(RunHybrid(empty, some).empty());
+  EXPECT_TRUE(RunHybrid(some, empty).empty());
+  for (IntersectKernel k : kAllKernels) {
+    EXPECT_TRUE(RunDispatch(k, empty, some).empty()) << KernelName(k);
+    EXPECT_TRUE(RunDispatch(k, some, empty).empty()) << KernelName(k);
+  }
+}
+
+TEST(IntersectHybridTest, SingleElementLists) {
+  const std::vector<Neighbor> one{Neighbor{7, 100}};
+  const std::vector<Neighbor> hit{Neighbor{7, 200}};
+  const std::vector<Neighbor> miss{Neighbor{8, 300}};
+  EXPECT_EQ(RunHybrid(one, hit), (std::vector<Triple>{{7, 100, 200}}));
+  EXPECT_TRUE(RunHybrid(one, miss).empty());
+  // Single element against a long list: 1 vs 17+ engages the gallop path
+  // (ratio 17 > 16); the emitted edge pairing must keep argument order.
+  const auto longer = MakeList(40, 0, 1, 3);
+  IntersectStats stats;
+  const auto out = RunHybrid(one, longer, &stats);
+  EXPECT_EQ(out, (std::vector<Triple>{{7, 100, (3u << 24) | 7}}));
+  EXPECT_GT(stats.gallop_probes, 0u);
+  EXPECT_EQ(stats.merge_steps, 0u);
+}
+
+TEST(IntersectHybridTest, CutoffStraddle) {
+  // 64 vs 4 entries is ratio 16 — NOT over the cutoff (strict >), so the
+  // merge runs; 65 vs 4 is ratio 16.25 — over, so the gallop runs. The
+  // values returned must not change across the knee.
+  const auto small = MakeList(4, 0, 16, 1);
+  const auto at = MakeList(64, 0, 1, 2);
+  const auto over = MakeList(65, 0, 1, 2);
+  IntersectStats s_at, s_over;
+  const auto out_at = RunHybrid(at, small, &s_at);
+  const auto out_over = RunHybrid(over, small, &s_over);
+  EXPECT_EQ(s_at.gallop_probes, 0u);
+  EXPECT_GT(s_at.merge_steps, 0u);
+  EXPECT_GT(s_over.gallop_probes, 0u);
+  EXPECT_EQ(s_over.merge_steps, 0u);
+  ASSERT_EQ(out_at.size(), 4u);
+  ASSERT_EQ(out_over.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::get<0>(out_at[i]), std::get<0>(out_over[i]));
+    // ea comes from the first range (the long one here), eb from the small.
+    EXPECT_EQ(std::get<2>(out_at[i]), std::get<2>(out_over[i]));
+  }
+}
+
+TEST(IntersectHybridTest, CutoffKnobSelectsRegime) {
+  // Same 100:10 pair, knob swept: cutoff below the ratio forces gallop,
+  // above forces merge, and the output never changes.
+  const auto a = MakeList(100, 0, 1, 1);
+  const auto b = MakeList(10, 0, 10, 2);
+  IntersectStats gallop_stats, merge_stats;
+  const auto out_gallop = RunHybrid(a, b, &gallop_stats, /*cutoff=*/4);
+  const auto out_merge = RunHybrid(a, b, &merge_stats, /*cutoff=*/1000);
+  EXPECT_EQ(out_gallop, out_merge);
+  EXPECT_EQ(out_gallop.size(), 10u);
+  EXPECT_GT(gallop_stats.gallop_probes, 0u);
+  EXPECT_EQ(gallop_stats.merge_steps, 0u);
+  EXPECT_GT(merge_stats.merge_steps, 0u);
+  EXPECT_EQ(merge_stats.gallop_probes, 0u);
+}
+
+TEST(IntersectSimdTest, KernelNameParseRoundTrip) {
+  for (IntersectKernel k : kAllKernels) {
+    IntersectKernel parsed = IntersectKernel::kScalar;
+    EXPECT_TRUE(ParseKernel(KernelName(k), &parsed)) << KernelName(k);
+    EXPECT_EQ(parsed, k);
+  }
+  IntersectKernel out = IntersectKernel::kAuto;
+  EXPECT_FALSE(ParseKernel("bogus", &out));
+  EXPECT_FALSE(ParseKernel("", &out));
+  EXPECT_FALSE(ParseKernel("AVX2", &out));  // names are lowercase
+  EXPECT_EQ(out, IntersectKernel::kAuto);   // untouched on failure
+}
+
+TEST(IntersectSimdTest, ResolveNeverReturnsAutoOrUnsupported) {
+  for (IntersectKernel k : kAllKernels) {
+    const IntersectKernel resolved = ResolveKernel(k);
+    EXPECT_NE(resolved, IntersectKernel::kAuto) << KernelName(k);
+    EXPECT_TRUE(KernelIsaSupported(resolved)) << KernelName(k);
+  }
+  // kAuto resolves to something runnable on this machine, and resolution
+  // is idempotent.
+  const IntersectKernel best = ResolveKernel(IntersectKernel::kAuto);
+  EXPECT_EQ(ResolveKernel(best), best);
+}
+
+TEST(IntersectSimdTest, DefaultKernelMirrorsSetter) {
+  const IntersectKernel saved = DefaultKernel();
+  SetDefaultKernel(IntersectKernel::kScalar);
+  EXPECT_EQ(DefaultKernel(), IntersectKernel::kScalar);
+  EXPECT_EQ(CurrentKernel(), IntersectKernel::kScalar);
+  SetDefaultKernel(saved);
+}
+
+TEST(IntersectSimdTest, AdversarialShapesMatchHybrid) {
+  // Shapes chosen to stress the block loop: disjoint (no matches, blocks
+  // always advance on compare-misses), identical (every lane matches),
+  // interleaved (matches never align within a block), and straddling
+  // (matches sit exactly on the 4/8-entry window boundaries).
+  struct Case {
+    const char* name;
+    std::vector<Neighbor> a, b;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"disjoint", MakeList(33, 0, 2, 1), MakeList(33, 1, 2, 2)});
+  cases.push_back({"identical", MakeList(40, 5, 3, 1), MakeList(40, 5, 3, 2)});
+  cases.push_back({"interleave", MakeList(64, 0, 3, 1), MakeList(64, 0, 5, 2)});
+  {
+    // Matches at multiples of 8 only → one hit per AVX2 block, straddling
+    // every window edge; list lengths offset so tails differ.
+    auto a = MakeList(61, 0, 1, 1);
+    auto b = MakeList(9, 0, 8, 2);
+    cases.push_back({"straddle", std::move(a), std::move(b)});
+  }
+  cases.push_back({"short_vs_blocky", MakeList(3, 10, 4, 1),
+                   MakeList(24, 0, 2, 2)});
+  for (const Case& c : cases) {
+    const auto expect = RunHybrid(c.a, c.b);
+    for (IntersectKernel k : kAllKernels) {
+      EXPECT_EQ(RunDispatch(k, c.a, c.b), expect)
+          << c.name << " via " << KernelName(k);
+      EXPECT_EQ(RunDispatch(k, c.b, c.a), RunHybrid(c.b, c.a))
+          << c.name << " (swapped) via " << KernelName(k);
+    }
+  }
+}
+
+TEST(IntersectSimdTest, RandomDifferentialAgainstHybrid) {
+  Rng rng(2012);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t universe =
+        16 + static_cast<uint32_t>(rng.NextBounded(256));
+    const auto a = RandomSortedList(
+        static_cast<uint32_t>(rng.NextBounded(universe)), universe, 1, rng);
+    const auto b = RandomSortedList(
+        static_cast<uint32_t>(rng.NextBounded(universe)), universe, 2, rng);
+    const auto expect = RunHybrid(a, b);
+    for (IntersectKernel k : kAllKernels) {
+      IntersectStats stats;
+      EXPECT_EQ(RunDispatch(k, a, b, &stats), expect)
+          << "round " << round << " via " << KernelName(k);
+      // Count-only twin agrees with the emit variant.
+      IntersectStats count_stats;
+      EXPECT_EQ(IntersectDispatchCount(ResolveKernel(k), a.data(),
+                                       a.data() + a.size(), b.data(),
+                                       b.data() + b.size(), count_stats),
+                expect.size())
+          << "round " << round << " via " << KernelName(k);
+    }
+  }
+}
+
+TEST(IntersectSimdTest, SimdLanesCountedWhenIsaPresent) {
+  // On hardware with SSE4.2/AVX2 the block kernels must actually engage on
+  // comparable-length lists (this is what triangle.simd_lanes_used reports).
+  const auto a = MakeList(64, 0, 2, 1);
+  const auto b = MakeList(64, 0, 3, 2);
+  for (IntersectKernel k : {IntersectKernel::kSse, IntersectKernel::kAvx2}) {
+    if (!KernelIsaSupported(k)) continue;
+    IntersectStats stats;
+    RunDispatch(k, a, b, &stats);
+    EXPECT_GT(stats.simd_lanes, 0u) << KernelName(k);
+  }
+}
+
+TEST(IntersectSimdTest, SkewedPairsDelegateToGallop) {
+  // Over the cutoff ratio the dispatch must take the galloping path no
+  // matter the kernel — block compares would walk the long list linearly.
+  const auto a = MakeList(1000, 0, 1, 1);
+  const auto b = MakeList(10, 0, 100, 2);
+  const auto expect = RunHybrid(a, b);
+  for (IntersectKernel k : kAllKernels) {
+    IntersectStats stats;
+    EXPECT_EQ(RunDispatch(k, a, b, &stats), expect) << KernelName(k);
+    EXPECT_GT(stats.gallop_probes, 0u) << KernelName(k);
+    EXPECT_EQ(stats.simd_lanes, 0u) << KernelName(k);
+  }
+}
+
+TEST(VertexBitmapTest, SetTestClearAndEdgeOf) {
+  VertexBitmap bitmap(200);
+  EXPECT_FALSE(bitmap.Test(0));
+  EXPECT_FALSE(bitmap.Test(199));
+  bitmap.Set(63, 7);   // word-boundary vertices
+  bitmap.Set(64, 8);
+  bitmap.Set(199, 9);
+  EXPECT_TRUE(bitmap.Test(63));
+  EXPECT_TRUE(bitmap.Test(64));
+  EXPECT_TRUE(bitmap.Test(199));
+  EXPECT_FALSE(bitmap.Test(62));
+  EXPECT_FALSE(bitmap.Test(65));
+  EXPECT_EQ(bitmap.EdgeOf(63), 7u);
+  EXPECT_EQ(bitmap.EdgeOf(64), 8u);
+  EXPECT_EQ(bitmap.EdgeOf(199), 9u);
+  bitmap.Clear(64);
+  EXPECT_FALSE(bitmap.Test(64));
+  EXPECT_TRUE(bitmap.Test(63));
+  EXPECT_TRUE(bitmap.Test(199));
+}
+
+}  // namespace
+}  // namespace tkc

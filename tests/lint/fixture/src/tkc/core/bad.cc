@@ -20,6 +20,13 @@ void Bad() {
   TKC_SPAN("Bad.Span_Name");  // TKC-L030: uppercase segment
 }
 
+#include <immintrin.h>  // TKC-L060: intrinsics header outside the kernel layer
+
+void StraySimd() {
+  __m128i a = _mm_set1_epi32(1);  // TKC-L060: intrinsic outside the layer
+  (void)a;
+}
+
 // TKC-L050 seed: the escape hatch below carries no justification comment
 // (this comment is two lines up, outside the rule's window).
 

@@ -7,17 +7,24 @@ identity: google-benchmark envelopes (bench_micro) use the row "name";
 table benches use the "dataset" field, comparing every *_seconds member.
 
 usage: tools/bench_compare.py BASELINE.json CANDIDATE.json
-           [--threshold=0.20] [--fail-on-regression]
+           [--threshold=0.20] [--fail-on-regression] [--gate=REGEX]
 
 Exit codes: 0 = no regression over the threshold, 1 = regressions found
 and --fail-on-regression was given, 2 = usage/parse error. Without
---fail-on-regression the exit code is always 0/2, which is what the
-informational CI step wants: visible, not blocking — micro timings on
-shared runners are too noisy to gate merges on.
+--fail-on-regression the exit code is always 0/2 — visible, not blocking.
+
+--gate=REGEX splits the rows into two classes: rows whose key matches the
+regex are *gating* (their regressions drive the exit code), the rest stay
+informational (printed, never fatal). This is how CI blocks on the
+support/peel hot path while leaving the long tail of micro timings — too
+noisy on shared runners — advisory. Gating rows should use a generous
+--threshold to absorb runner noise; see docs/performance.md for the
+baseline-refresh procedure when a gated regression is intentional.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -85,14 +92,25 @@ def main():
     parser.add_argument("--fail-on-regression", action="store_true",
                         help="exit 1 if any regression exceeds the "
                              "threshold")
+    parser.add_argument("--gate", metavar="REGEX", default=None,
+                        help="only rows whose key matches REGEX drive the "
+                             "exit code; the rest are informational")
     args = parser.parse_args()
+
+    gate = None
+    if args.gate is not None:
+        try:
+            gate = re.compile(args.gate)
+        except re.error as e:
+            fail(f"--gate is not a valid regex: {e}")
 
     base = load(args.baseline)
     cand = load(args.candidate)
     base_rows = {row_key(r): r for r in base.get("rows", []) if row_key(r)}
     cand_rows = {row_key(r): r for r in cand.get("rows", []) if row_key(r)}
 
-    regressions = []
+    regressions = []       # gating: drive the exit code
+    info_regressions = []  # over threshold, but outside --gate
     improvements = []
     added_metrics = []
     removed_metrics = []
@@ -114,7 +132,10 @@ def main():
             line = (f"{key} [{metric}]: {b[metric]*1e3:.3f}ms -> "
                     f"{c[metric]*1e3:.3f}ms ({delta:+.1%})")
             if delta > args.threshold:
-                regressions.append(line)
+                if gate is None or gate.search(key):
+                    regressions.append(line)
+                else:
+                    info_regressions.append(line)
             elif delta < -args.threshold:
                 improvements.append(line)
 
@@ -124,7 +145,11 @@ def main():
     print(f"compared {compared} timings across "
           f"{len(base_rows.keys() & cand_rows.keys())} matching rows "
           f"(threshold {args.threshold:.0%})")
+    if gate is not None:
+        print(f"gating rows: /{args.gate}/")
     for title, lines in (("REGRESSIONS", regressions),
+                         ("regressions (informational, outside --gate)",
+                          info_regressions),
                          ("improvements", improvements)):
         if lines:
             print(f"\n{title} (>{args.threshold:.0%}):")
@@ -141,7 +166,8 @@ def main():
         print(f"metrics only in baseline (removed): "
               f"{', '.join(removed_metrics)}")
     if not regressions:
-        print("\nno regressions over threshold")
+        print("\nno gating regressions over threshold"
+              if gate is not None else "\nno regressions over threshold")
 
     if regressions and args.fail_on_regression:
         return 1

@@ -58,6 +58,24 @@ run_one() {
     echo "!! parallel peel kappa differs from serial" >&2
     exit 1
   fi
+  echo "== $sanitizer: kernel + relabel CLI =="
+  # The forced-scalar run pins the dispatch fallback under sanitizers, and
+  # --relabel=degree drives the permutation/OriginalEdge path; both must
+  # reproduce the auto-kernel κ output byte for byte.
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
+    --kernel=scalar > "$smoke_dir/kappa_scalar.txt"
+  if ! diff <(grep -v '^#' "$smoke_dir/kappa_par.txt") \
+            <(grep -v '^#' "$smoke_dir/kappa_scalar.txt"); then
+    echo "!! --kernel=scalar kappa differs from auto kernel" >&2
+    exit 1
+  fi
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
+    --relabel=degree > "$smoke_dir/kappa_relabel.txt"
+  if ! diff <(grep -v '^#' "$smoke_dir/kappa_par.txt") \
+            <(grep -v '^#' "$smoke_dir/kappa_relabel.txt"); then
+    echo "!! --relabel=degree kappa differs from unrelabeled" >&2
+    exit 1
+  fi
   echo "== $sanitizer: engine replay CLI =="
   # Stream a generated event log through the versioned engine (DeltaCsr
   # overlay, batched maintenance, compaction, zero-copy snapshots) with

@@ -61,6 +61,12 @@ RULES = {
         "TKC_NO_THREAD_SAFETY_ANALYSIS without an inline justification "
         "comment",
     ),
+    "TKC-L060": (
+        "simd-containment",
+        "<immintrin.h> or x86 SIMD intrinsics outside "
+        "src/tkc/graph/intersect_simd.{h,cc} (ISA-specific code lives "
+        "behind the kernel dispatch layer)",
+    ),
 }
 NAME_TO_ID = {name: rid for rid, (name, _) in RULES.items()}
 
@@ -73,6 +79,12 @@ SPAN_USE_RE = re.compile(
     r"(?:TKC_SPAN(?:_PERF|_MEM)?|TimelineScope\s+\w+)\(\s*\"([^\"]*)\"")
 NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")
 DELETE_RE = re.compile(r"(?<![\w.])delete(?:\[\])?\b")
+SIMD_ALLOWED_FILES = {
+    "src/tkc/graph/intersect_simd.h",
+    "src/tkc/graph/intersect_simd.cc",
+}
+SIMD_INCLUDE_RE = re.compile(r"#include\s*<\w*intrin\.h>")
+SIMD_INTRINSIC_RE = re.compile(r"\b(?:_mm\d*_\w+|__m\d+[di]?)\b")
 BANNED_RES = [
     (re.compile(r"std::rand\b"), "std::rand (use tkc/util/random.h)"),
     (re.compile(r"\btime\(\s*(nullptr|NULL|0)\s*\)"),
@@ -267,6 +279,23 @@ class Linter:
                         "TKC-L030", path, lines, i,
                         f"span name \"{name}\" is {len(name)} chars; the "
                         f"timeline buffer truncates past {SPAN_NAME_MAX}")
+
+            # TKC-L060: ISA-specific code stays in the kernel layer, so
+            # every other file is portable by construction and the dispatch
+            # layer is the single place CPUID gating has to be right.
+            if (str(rel).startswith("src/")
+                    and str(rel) not in SIMD_ALLOWED_FILES):
+                if SIMD_INCLUDE_RE.search(raw):
+                    self.report(
+                        "TKC-L060", path, lines, i,
+                        "intrinsics header include outside "
+                        "src/tkc/graph/intersect_simd.{h,cc}")
+                elif SIMD_INTRINSIC_RE.search(code):
+                    self.report(
+                        "TKC-L060", path, lines, i,
+                        "x86 SIMD intrinsic outside "
+                        "src/tkc/graph/intersect_simd.{h,cc} (route "
+                        "through IntersectDispatch)")
 
             # TKC-L050: unjustified thread-safety escape hatch.
             if ("TKC_NO_THREAD_SAFETY_ANALYSIS" in code
