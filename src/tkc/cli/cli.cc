@@ -1,8 +1,10 @@
 #include "tkc/cli/cli.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <ostream>
 #include <span>
@@ -22,6 +24,7 @@
 #include "tkc/graph/stats.h"
 #include "tkc/io/edge_list.h"
 #include "tkc/io/event_list.h"
+#include "tkc/io/graph_cache.h"
 #include "tkc/obs/json.h"
 #include "tkc/obs/log.h"
 #include "tkc/obs/metrics.h"
@@ -76,21 +79,45 @@ ParsedArgs Parse(const std::vector<std::string>& args) {
   return parsed;
 }
 
-std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err) {
+// Ingest worker count: --ingest-threads when given, otherwise the shared
+// pool default (so plain --threads=N parallelizes ingest too).
+int IngestThreads(const ParsedArgs& args) {
+  return ResolveThreads(static_cast<int>(args.FlagInt("ingest-threads", 0)));
+}
+
+// "3,17,42" for the load warning — the recorded malformed line numbers
+// (capped upstream at kMaxRecordedMalformedLines).
+std::string FormatLineNumbers(const std::vector<uint64_t>& lines,
+                              uint64_t total) {
+  std::string text;
+  for (const uint64_t line : lines) {
+    if (!text.empty()) text += ',';
+    text += std::to_string(line);
+  }
+  if (total > lines.size()) text += ",...";
+  return text;
+}
+
+std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err,
+                               int ingest_threads) {
   TKC_SPAN("cli.load_graph");
   EdgeListStats stats;
-  auto g = ReadEdgeListFile(path, &stats);
+  auto g = ReadEdgeListFile(path, &stats, ingest_threads);
   if (!g.has_value()) {
     err << "error: cannot read edge list '" << path << "'\n";
     obs::Logger::Global().Error("graph.load_failed", {{"path", path}});
     return g;
   }
   if (stats.Skipped() > 0) {
-    obs::Logger::Global().Warn("graph.lines_skipped",
-                               {{"path", path},
-                                {"malformed", stats.malformed_lines},
-                                {"self_loops", stats.self_loops},
-                                {"duplicates", stats.duplicate_edges}});
+    obs::Logger::Global().Warn(
+        "graph.lines_skipped",
+        {{"path", path},
+         {"malformed", stats.malformed_lines},
+         {"malformed_at_lines",
+          FormatLineNumbers(stats.malformed_line_numbers,
+                            stats.malformed_lines)},
+         {"self_loops", stats.self_loops},
+         {"duplicates", stats.duplicate_edges}});
   }
   obs::Logger::Global().Info("graph.loaded",
                              {{"path", path},
@@ -99,10 +126,86 @@ std::optional<Graph> LoadGraph(const std::string& path, std::ostream& err) {
   return g;
 }
 
+// How a subcommand received its graph under --graph-cache.
+struct GraphSource {
+  std::optional<Graph> graph;           // set when text was parsed or a thaw ran
+  std::shared_ptr<const CsrGraph> csr;  // set when a frozen snapshot exists
+  bool from_cache = false;
+};
+
+// Loads the graph for a subcommand, honoring --graph-cache=FILE:
+//  * cache file loads → serve the frozen snapshot directly (cache hit);
+//  * cache file absent → text ingest, then freeze + write the cache for
+//    the next run (cache miss);
+//  * cache file present but invalid → hard error with the named reason
+//    (exit 2) — never a silent fallback onto a corrupt file.
+// Commands whose output or events are keyed by original vertex ids pass
+// `reject_relabeled` (a degree-relabeled snapshot would permute their
+// ids); `thaw_graph` additionally materializes a mutable Graph with
+// preserved EdgeIds for commands that mutate.
+std::optional<GraphSource> LoadGraphSource(const ParsedArgs& args,
+                                           const std::string& path,
+                                           std::ostream& err,
+                                           bool reject_relabeled,
+                                           bool thaw_graph,
+                                           RelabelMode cache_relabel) {
+  GraphSource src;
+  const std::string cache_path = args.Flag("graph-cache", "");
+  const int ingest_threads = IngestThreads(args);
+  if (!cache_path.empty()) {
+    CacheStatus status = CacheStatus::kOk;
+    std::string detail;
+    auto csr = LoadGraphCache(cache_path, ingest_threads, &status, &detail);
+    if (csr.has_value()) {
+      if (reject_relabeled && csr->IsRelabeled()) {
+        err << "error: graph cache '" << cache_path
+            << "' is degree-relabeled; this command reports original vertex "
+               "ids — rebuild the cache with --relabel=none\n";
+        return std::nullopt;
+      }
+      obs::Logger::Global().Info("cache.loaded",
+                                 {{"path", cache_path},
+                                  {"vertices", csr->NumVertices()},
+                                  {"edges", csr->NumEdges()},
+                                  {"relabeled", csr->IsRelabeled() ? 1 : 0}});
+      src.from_cache = true;
+      auto shared = std::make_shared<const CsrGraph>(std::move(*csr));
+      if (thaw_graph) src.graph = shared->ThawPreservingIds();
+      src.csr = std::move(shared);
+      return src;
+    }
+    if (status != CacheStatus::kIoError) {
+      err << "error: graph cache '" << cache_path
+          << "' rejected: " << CacheStatusName(status) << " (" << detail
+          << ")\n";
+      obs::Logger::Global().Error("cache.load_rejected",
+                                  {{"path", cache_path},
+                                   {"reason", CacheStatusName(status)}});
+      return std::nullopt;
+    }
+    obs::Logger::Global().Info("cache.miss", {{"path", cache_path}});
+  }
+  auto g = LoadGraph(path, err, ingest_threads);
+  if (!g) return std::nullopt;
+  if (!cache_path.empty()) {
+    CsrGraph csr = CsrGraph::Freeze(*g, cache_relabel, ingest_threads);
+    std::string write_error;
+    if (!WriteGraphCache(csr, cache_path, &write_error)) {
+      err << "error: cannot write graph cache: " << write_error << '\n';
+      return std::nullopt;
+    }
+    obs::Logger::Global().Info(
+        "cache.written",
+        {{"path", cache_path},
+         {"relabeled", cache_relabel == RelabelMode::kDegree ? 1 : 0}});
+    src.csr = std::make_shared<const CsrGraph>(std::move(csr));
+  }
+  src.graph = std::move(*g);
+  return src;
+}
+
 int CmdDecompose(const ParsedArgs& args, std::ostream& out,
                  std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
   TriangleStorageMode mode = args.Flag("mode", "recompute") == "store"
                                  ? TriangleStorageMode::kStoreTriangles
                                  : TriangleStorageMode::kRecomputeTriangles;
@@ -111,15 +214,34 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
     err << "error: unknown --relabel '" << relabel_text << "'\n";
     return 2;
   }
+  const RelabelMode relabel = relabel_text == "degree" ? RelabelMode::kDegree
+                                                       : RelabelMode::kNone;
+  // Decompose output is invariant under degree relabeling (OriginalEdge
+  // translates back and EdgeIds are preserved), so a cache frozen with
+  // either layout is servable — the stored layout wins over --relabel.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/false, /*thaw_graph=*/false,
+                             relabel);
+  if (!src) return 2;
   Timer t;
   // --relabel=degree freezes a hub-packed snapshot for locality; κ, the
   // peel order, and the output rows are invariant under the renumbering
   // (OriginalEdge translates back), so the bytes below never change.
   std::optional<AnalysisContext> ctx;
-  if (relabel_text == "degree") {
-    ctx.emplace(CsrGraph::Freeze(*g, RelabelMode::kDegree));
+  if (src->csr) {
+    if (src->from_cache &&
+        src->csr->IsRelabeled() != (relabel == RelabelMode::kDegree)) {
+      obs::Logger::Global().Warn(
+          "cache.relabel_mismatch",
+          {{"requested", relabel_text},
+           {"stored", src->csr->IsRelabeled() ? "degree" : "none"}});
+    }
+    ctx.emplace(src->csr);
+  } else if (relabel == RelabelMode::kDegree) {
+    ctx.emplace(
+        CsrGraph::Freeze(*src->graph, RelabelMode::kDegree, IngestThreads(args)));
   } else {
-    ctx.emplace(*g);
+    ctx.emplace(*src->graph);
   }
   // With more than one worker, peel with the round-synchronous parallel
   // formulation — κ output is bit-identical to the serial bucket peel.
@@ -128,7 +250,7 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
                                   : ComputeTriangleCores(*ctx, mode);
   double seconds = t.Seconds();
   obs::Logger::Global().Info("decompose.done",
-                             {{"edges", g->NumEdges()},
+                             {{"edges", ctx->csr().NumEdges()},
                               {"triangles", r.triangle_count},
                               {"max_kappa", r.max_kappa},
                               {"peel", parallel ? "parallel" : "serial"},
@@ -140,18 +262,25 @@ int CmdDecompose(const ParsedArgs& args, std::ostream& out,
     out << oe.u << ' ' << oe.v << ' ' << r.kappa[e] << ' '
         << r.CocliqueSize(e) << '\n';
   });
-  out << "# edges=" << g->NumEdges() << " triangles=" << r.triangle_count
+  out << "# edges=" << ctx->csr().NumEdges()
+      << " triangles=" << r.triangle_count
       << " max_kappa=" << r.max_kappa << " seconds=" << seconds << '\n';
   return 0;
 }
 
 int CmdKCore(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
-  CsrGraph csr(*g);
+  // Rows are keyed by vertex id, so a degree-relabeled cache is rejected.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/false,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  std::optional<CsrGraph> local;
+  if (!src->csr) local.emplace(*src->graph, RelabelMode::kNone,
+                               IngestThreads(args));
+  const CsrGraph& csr = src->csr ? *src->csr : *local;
   KCoreResult r = ComputeKCores(csr);
   out << "# v core\n";
-  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+  for (VertexId v = 0; v < csr.NumVertices(); ++v) {
     out << v << ' ' << r.core_of[v] << '\n';
   }
   out << "# max_core=" << r.max_core << '\n';
@@ -159,9 +288,16 @@ int CmdKCore(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
-  GraphStats s = ComputeGraphStats(CsrGraph(*g));
+  // Every stat is invariant under vertex renumbering, so any cache layout
+  // is servable.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/false, /*thaw_graph=*/false,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  std::optional<CsrGraph> local;
+  if (!src->csr) local.emplace(*src->graph, RelabelMode::kNone,
+                               IngestThreads(args));
+  GraphStats s = ComputeGraphStats(src->csr ? *src->csr : *local);
   out << "vertices:               " << s.num_vertices << '\n'
       << "edges:                  " << s.num_edges << '\n'
       << "triangles:              " << s.num_triangles << '\n'
@@ -175,9 +311,17 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 }
 
 int CmdPlot(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
-  AnalysisContext ctx(*g);
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/false,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  std::optional<AnalysisContext> ctx_storage;
+  if (src->csr) {
+    ctx_storage.emplace(src->csr);
+  } else {
+    ctx_storage.emplace(*src->graph);
+  }
+  AnalysisContext& ctx = *ctx_storage;
   TriangleCoreResult r = ComputeTriangleCores(ctx);
   std::vector<uint32_t> co(ctx.csr().EdgeCapacity(), 0);
   ctx.csr().ForEachEdge([&](EdgeId e, const Edge&) { co[e] = r.kappa[e] + 2; });
@@ -201,9 +345,17 @@ int CmdPlot(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int CmdHierarchy(const ParsedArgs& args, std::ostream& out,
                  std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
-  AnalysisContext ctx(*g);
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/false,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  std::optional<AnalysisContext> ctx_storage;
+  if (src->csr) {
+    ctx_storage.emplace(src->csr);
+  } else {
+    ctx_storage.emplace(*src->graph);
+  }
+  AnalysisContext& ctx = *ctx_storage;
   TriangleCoreResult r = ComputeTriangleCores(ctx);
   CoreHierarchy h = BuildCoreHierarchy(ctx.csr(), r);
   out << HierarchyToString(
@@ -216,20 +368,25 @@ int CmdHierarchy(const ParsedArgs& args, std::ostream& out,
 // and counted, never fatal), with the same logging shape as LoadGraph.
 std::optional<std::vector<EdgeEvent>> LoadEvents(const std::string& path,
                                                  std::ostream& err,
+                                                 int ingest_threads,
                                                  EventListStats* stats_out =
                                                      nullptr) {
   EventListStats stats;
-  auto events = ReadEventListFile(path, &stats);
+  auto events = ReadEventListFile(path, &stats, ingest_threads);
   if (!events.has_value()) {
     err << "error: cannot read events '" << path << "'\n";
     obs::Logger::Global().Error("events.load_failed", {{"path", path}});
     return events;
   }
   if (stats.Skipped() > 0) {
-    obs::Logger::Global().Warn("events.lines_skipped",
-                               {{"path", path},
-                                {"malformed", stats.malformed_lines},
-                                {"self_loops", stats.self_loops}});
+    obs::Logger::Global().Warn(
+        "events.lines_skipped",
+        {{"path", path},
+         {"malformed", stats.malformed_lines},
+         {"malformed_at_lines",
+          FormatLineNumbers(stats.malformed_line_numbers,
+                            stats.malformed_lines)},
+         {"self_loops", stats.self_loops}});
   }
   obs::Logger::Global().Info(
       "events.loaded", {{"path", path}, {"events", stats.events_parsed}});
@@ -252,11 +409,15 @@ obs::JsonValue UpdateStatsJson(const UpdateStats& s) {
 std::optional<obs::JsonValue> g_update_stats_json;  // NOLINT
 
 int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
-  auto events = LoadEvents(args.positional[2], err);
+  // Events arrive in original vertex ids and the maintainer mutates, so a
+  // relabeled cache is rejected and a hit is thawed back into a Graph.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/true,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  auto events = LoadEvents(args.positional[2], err, IngestThreads(args));
   if (!events) return 2;
-  DynamicTriangleCore dyn(*g);
+  DynamicTriangleCore dyn(*src->graph);
   Timer t;
   UpdateStats stats = dyn.ApplyEvents(*events);
   double update_s = t.Seconds();
@@ -287,8 +448,13 @@ int CmdUpdate(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 // machine-readable tkc.verify.v1 artifact. Exit codes: 0 all invariants
 // hold, 3 an invariant failed (counterexample printed), 2 usage/I-O error.
 int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
+  // The oracles (and any --events replay) work in original vertex ids on a
+  // mutable Graph, so a cache hit is thawed and relabeled caches rejected.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/true,
+                             RelabelMode::kNone);
+  if (!src) return 2;
+  Graph& g = *src->graph;
 
   verify::VerifyOptions options;
   const std::string mode = args.Flag("mode", "recompute");
@@ -307,13 +473,13 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
   const std::string events_path = args.Flag("events", "");
   if (!events_path.empty()) {
-    auto events = LoadEvents(events_path, err);
+    auto events = LoadEvents(events_path, err, IngestThreads(args));
     if (!events) return 2;
     options.events = std::move(*events);
   }
 
   Timer t;
-  verify::VerifyReport report = verify::RunFullVerification(*g, options);
+  verify::VerifyReport report = verify::RunFullVerification(g, options);
   const double seconds = t.Seconds();
 
   for (const verify::InvariantCheck& check : report.checks()) {
@@ -356,8 +522,12 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 // analytics queries off zero-copy snapshots between batches. Exit codes:
 // 0 ok, 3 a --verify check failed, 2 usage/I-O error.
 int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
-  auto g = LoadGraph(args.positional[1], err);
-  if (!g) return 2;
+  // Events are keyed by original vertex ids; a cache hit feeds the engine's
+  // zero-copy frozen-base constructor, a miss goes through text ingest.
+  auto src = LoadGraphSource(args, args.positional[1], err,
+                             /*reject_relabeled=*/true, /*thaw_graph=*/false,
+                             RelabelMode::kNone);
+  if (!src) return 2;
   const std::string events_path = args.Flag("events", "");
   if (events_path.empty()) {
     err << "error: replay requires --events=FILE\n";
@@ -379,14 +549,16 @@ int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   EventListStats estats;
-  auto events = LoadEvents(events_path, err, &estats);
+  auto events = LoadEvents(events_path, err, IngestThreads(args), &estats);
   if (!events) return 2;
 
   const bool verify = args.flags.count("verify") > 0;
   engine::EngineOptions options;
   options.compaction_min_edits = static_cast<size_t>(compact_edits);
   options.verify_compactions = verify;
-  engine::TkcEngine engine(*g, options);
+  engine::TkcEngine engine =
+      src->csr ? engine::TkcEngine(src->csr, options)
+               : engine::TkcEngine(*src->graph, options);
 
   obs::JsonValue batches_json = obs::JsonValue::Array();
   Timer total;
@@ -446,6 +618,11 @@ int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   const UpdateStats& work = engine.total_stats();
+  auto& reg = obs::MetricsRegistry::Global();
+  const uint64_t cache_hits = reg.GetCounter("cache.hits").Value();
+  const uint64_t cache_misses = reg.GetCounter("cache.misses").Value();
+  const uint64_t cache_checksum_failures =
+      reg.GetCounter("cache.checksum_failures").Value();
   out << "# events=" << events->size() << " skipped=" << estats.Skipped()
       << " batches=" << batch_index << " batch_size=" << batch_size
       << " compactions=" << engine.compactions()
@@ -454,7 +631,8 @@ int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << " max_kappa=" << final_snap.max_kappa << " seconds=" << total_s
       << " events_per_sec="
       << (total_s > 0 ? static_cast<double>(events->size()) / total_s : 0.0)
-      << ' ' << work;
+      << ' ' << work << " cache_hits=" << cache_hits
+      << " cache_misses=" << cache_misses;
   if (verify) out << " verified=" << (verified ? "yes" : "NO");
   out << '\n';
   g_update_stats_json = UpdateStatsJson(work);
@@ -475,7 +653,12 @@ int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         .Set("max_kappa", final_snap.max_kappa)
         .Set("seconds", total_s)
         .Set("verified", verify ? (verified ? "yes" : "no") : "skipped")
-        .Set("update_stats", UpdateStatsJson(work))
+        .Set("update_stats", UpdateStatsJson(work));
+    obs::JsonValue cache_json = obs::JsonValue::Object();
+    cache_json.Set("hits", cache_hits)
+        .Set("misses", cache_misses)
+        .Set("checksum_failures", cache_checksum_failures);
+    doc.Set("cache", std::move(cache_json))
         .Set("batch_log", std::move(batches_json));
     std::ofstream file(json_out);
     file << doc.Dump(2) << '\n';
@@ -490,8 +673,8 @@ int CmdReplay(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int CmdTemplates(const ParsedArgs& args, std::ostream& out,
                  std::ostream& err) {
-  auto old_g = LoadGraph(args.positional[1], err);
-  auto new_g = LoadGraph(args.positional[2], err);
+  auto old_g = LoadGraph(args.positional[1], err, IngestThreads(args));
+  auto new_g = LoadGraph(args.positional[2], err, IngestThreads(args));
   if (!old_g || !new_g) return 2;
   std::string pattern = args.Flag("pattern", "newform");
   TemplateSpec spec;
@@ -571,25 +754,90 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+// `tkc cache build <edges.txt> --out=FILE` freezes the text edge list into
+// a .tkcg binary snapshot; `tkc cache load <FILE>` validates one and prints
+// its header — the CLI face of the --graph-cache fast path.
+int CmdCache(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  const std::string& verb = args.positional[1];
+  const int ingest_threads = IngestThreads(args);
+  if (verb == "build") {
+    const std::string out_path = args.Flag("out", "");
+    if (out_path.empty()) {
+      err << "error: cache build requires --out=FILE\n";
+      return 2;
+    }
+    const std::string relabel_text = args.Flag("relabel", "none");
+    if (relabel_text != "none" && relabel_text != "degree") {
+      err << "error: unknown --relabel '" << relabel_text << "'\n";
+      return 2;
+    }
+    auto g = LoadGraph(args.positional[2], err, ingest_threads);
+    if (!g) return 2;
+    Timer t;
+    CsrGraph csr = CsrGraph::Freeze(*g,
+                                    relabel_text == "degree"
+                                        ? RelabelMode::kDegree
+                                        : RelabelMode::kNone,
+                                    ingest_threads);
+    std::string write_error;
+    if (!WriteGraphCache(csr, out_path, &write_error)) {
+      err << "error: cannot write graph cache: " << write_error << '\n';
+      return 2;
+    }
+    out << "wrote " << out_path << ": " << csr.NumVertices() << " vertices, "
+        << csr.NumEdges() << " edges, relabel=" << relabel_text
+        << " seconds=" << t.Seconds() << '\n';
+    return 0;
+  }
+  if (verb == "load") {
+    CacheStatus status = CacheStatus::kOk;
+    std::string detail;
+    GraphCacheInfo info;
+    Timer t;
+    auto csr = LoadGraphCache(args.positional[2], ingest_threads, &status,
+                              &detail, &info);
+    if (!csr.has_value()) {
+      err << "error: graph cache '" << args.positional[2]
+          << "' rejected: " << CacheStatusName(status) << " (" << detail
+          << ")\n";
+      return 2;
+    }
+    out << "cache " << args.positional[2] << ": version=" << info.version
+        << " vertices=" << csr->NumVertices()
+        << " edges=" << csr->NumEdges()
+        << " relabeled=" << (csr->IsRelabeled() ? "yes" : "no")
+        << " payload_bytes=" << info.payload_bytes
+        << " seconds=" << t.Seconds() << '\n';
+    return 0;
+  }
+  err << "error: unknown cache subcommand '" << verb
+      << "' (expected build|load)\n";
+  return 2;
+}
+
 void PrintUsage(std::ostream& err) {
   err << "usage: tkc <command> ... [--log-level=L] [--metrics-out=FILE]\n"
          "                         [--trace-out=FILE] [--threads=N]\n"
-         "                         [--kernel=K]\n"
+         "                         [--kernel=K] [--ingest-threads=N]\n"
          "  decompose <edges.txt> [--mode=store|recompute]\n"
-         "            [--relabel=none|degree]\n"
-         "  kcore     <edges.txt>\n"
-         "  stats     <edges.txt>\n"
+         "            [--relabel=none|degree] [--graph-cache=FILE]\n"
+         "  kcore     <edges.txt> [--graph-cache=FILE]\n"
+         "  stats     <edges.txt> [--graph-cache=FILE]\n"
          "  plot      <edges.txt> [--svg=FILE] [--width=N] [--height=N]\n"
-         "  hierarchy <edges.txt> [--max-nodes=N]\n"
-         "  update    <edges.txt> <events.txt>\n"
+         "            [--graph-cache=FILE]\n"
+         "  hierarchy <edges.txt> [--max-nodes=N] [--graph-cache=FILE]\n"
+         "  update    <edges.txt> <events.txt> [--graph-cache=FILE]\n"
          "  replay    <edges.txt> --events=FILE [--batch=N]\n"
          "            [--query-every=K] [--compact-edits=N] [--verify]\n"
-         "            [--json-out=FILE]\n"
+         "            [--json-out=FILE] [--graph-cache=FILE]\n"
          "  verify    <edges.txt> [--events=FILE] [--check-every=N]\n"
          "            [--mode=store|recompute] [--json-out=FILE]\n"
+         "            [--graph-cache=FILE]\n"
          "  templates <old.txt> <new.txt> --pattern=newform|bridge|newjoin\n"
          "  generate  <er|gnm|ba|plc|ws|rmat|geometric|collab> --out=FILE\n"
          "            [--n=N] [--m=M] [--p=P] [--seed=S]\n"
+         "  cache     build <edges.txt> --out=FILE [--relabel=none|degree]\n"
+         "  cache     load <FILE.tkcg>\n"
          "global flags (any command):\n"
          "  --log-level=error|warn|info|debug   structured logs on stderr\n"
          "  --log-timestamps                    prefix log lines with "
@@ -609,7 +857,19 @@ void PrintUsage(std::ostream& err) {
          "                                      hot path (auto = widest "
          "supported ISA;\n"
          "                                      all kernels are "
-         "bit-identical in output)\n";
+         "bit-identical in output)\n"
+         "  --ingest-threads=N                  worker threads for parsing "
+         "and freeze\n"
+         "                                      (0 = follow --threads; "
+         "1 = serial;\n"
+         "                                      output is identical at any "
+         "count)\n"
+         "  --graph-cache=FILE                  serve the graph from a "
+         ".tkcg binary\n"
+         "                                      snapshot; built from the "
+         "edge list on\n"
+         "                                      first use (see 'tkc "
+         "cache')\n";
 }
 
 }  // namespace
@@ -622,25 +882,26 @@ namespace {
 bool FlagsValid(const std::string& cmd, const ParsedArgs& parsed,
                 std::ostream& err) {
   static const std::map<std::string, std::vector<std::string>> kAllowed = {
-      {"decompose", {"mode", "relabel"}},
-      {"kcore", {}},
-      {"stats", {}},
-      {"plot", {"svg", "width", "height"}},
-      {"hierarchy", {"max-nodes"}},
-      {"update", {}},
+      {"decompose", {"mode", "relabel", "graph-cache"}},
+      {"kcore", {"graph-cache"}},
+      {"stats", {"graph-cache"}},
+      {"plot", {"svg", "width", "height", "graph-cache"}},
+      {"hierarchy", {"max-nodes", "graph-cache"}},
+      {"update", {"graph-cache"}},
       {"replay",
        {"events", "batch", "query-every", "compact-edits", "verify",
-        "json-out"}},
-      {"verify", {"events", "check-every", "mode", "json-out"}},
+        "json-out", "graph-cache"}},
+      {"verify", {"events", "check-every", "mode", "json-out", "graph-cache"}},
       {"templates", {"pattern", "min-size"}},
       {"generate", {"out", "seed", "n", "m", "p", "scale"}},
+      {"cache", {"out", "relabel"}},
   };
   auto it = kAllowed.find(cmd);
   if (it == kAllowed.end()) return true;  // unknown command: handled later
   for (const auto& [key, value] : parsed.flags) {
     if (key == "log-level" || key == "log-timestamps" ||
         key == "metrics-out" || key == "trace-out" || key == "threads" ||
-        key == "kernel") {
+        key == "kernel" || key == "ingest-threads") {
       continue;
     }
     if (std::find(it->second.begin(), it->second.end(), key) ==
@@ -674,6 +935,7 @@ int Dispatch(const std::string& cmd, const ParsedArgs& parsed,
   if (cmd == "verify" && need(2)) return CmdVerify(parsed, out, err);
   if (cmd == "templates" && need(3)) return CmdTemplates(parsed, out, err);
   if (cmd == "generate" && need(2)) return CmdGenerate(parsed, out, err);
+  if (cmd == "cache" && need(3)) return CmdCache(parsed, out, err);
   PrintUsage(err);
   return 2;
 }
@@ -728,6 +990,18 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   }
   SetDefaultThreads(threads_flag == 0 ? HardwareThreads()
                                       : static_cast<int>(threads_flag));
+  if (parsed.FlagInt("ingest-threads", 0) < 0) {
+    err << "error: --ingest-threads must be >= 0\n";
+    return 2;
+  }
+
+  // The cache counters exist in every dump (pattern as for
+  // engine.snapshot_copies): "no cache activity" is a checkable zero in the
+  // tkc.metrics.v1 artifact, not a missing key.
+  for (const char* name :
+       {"cache.hits", "cache.misses", "cache.checksum_failures"}) {
+    obs::MetricsRegistry::Global().GetCounter(name).Add(0);
+  }
 
   // Intersection kernel for the triangle/support hot path. Like the thread
   // count, set after the registry reset so the triangle.kernel gauge

@@ -30,12 +30,29 @@ DynamicTriangleCoreT<DeltaCsr> MakeInitialCore(const Graph& base,
   return DynamicTriangleCoreT<DeltaCsr>(std::move(view), initial);
 }
 
+// Cache-served variant: the frozen snapshot (typically loaded from a .tkcg
+// graph cache) becomes epoch 0 directly — no re-freeze, no copy — and
+// Algorithm 1 runs once against it through the overlay.
+DynamicTriangleCoreT<DeltaCsr> MakeInitialCore(
+    std::shared_ptr<const CsrGraph> base, const EngineOptions& options) {
+  DeltaCsr view(std::move(base));
+  TriangleCoreResult initial = ComputeTriangleCores(view);
+  (void)options;
+  return DynamicTriangleCoreT<DeltaCsr>(std::move(view), initial);
+}
+
 }  // namespace
 
 TkcEngine::TkcEngine(const Graph& base, EngineOptions options)
     : options_(options), dyn_(MakeInitialCore(base, options)) {
   // The snapshot-copy counter exists from construction so "no copies ever
   // happened" is a checkable == 0 assertion, not a missing metric.
+  obs::MetricsRegistry::Global().GetCounter("engine.snapshot_copies").Add(0);
+}
+
+TkcEngine::TkcEngine(std::shared_ptr<const CsrGraph> base,
+                     EngineOptions options)
+    : options_(options), dyn_(MakeInitialCore(std::move(base), options)) {
   obs::MetricsRegistry::Global().GetCounter("engine.snapshot_copies").Add(0);
 }
 

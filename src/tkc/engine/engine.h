@@ -68,6 +68,12 @@ class TkcEngine {
   /// the decomposition.
   explicit TkcEngine(const Graph& base, EngineOptions options = {});
 
+  /// Adopts an already-frozen snapshot as epoch 0 — zero-copy, the
+  /// `--graph-cache` serving path — and runs Algorithm 1 once. The
+  /// snapshot must be unrelabeled (events arrive in original vertex ids).
+  explicit TkcEngine(std::shared_ptr<const CsrGraph> base,
+                     EngineOptions options = {});
+
   /// Applies one event batch through the amortized maintenance path and
   /// compacts afterwards if the accumulated edits cross the policy
   /// threshold.

@@ -4,6 +4,8 @@
 #include <numeric>
 
 #include "tkc/graph/triangle.h"
+#include "tkc/obs/metrics.h"
+#include "tkc/obs/trace.h"
 #include "tkc/util/check.h"
 
 #if TKC_CHECK_LEVEL >= 1
@@ -12,10 +14,10 @@
 
 namespace tkc {
 
-CsrGraph::CsrGraph(const Graph& g, RelabelMode relabel) {
-  InitFrom(g);
-  if (relabel == RelabelMode::kDegree) ApplyDegreeRelabel();
-  FinishBuild();
+CsrGraph::CsrGraph(const Graph& g, RelabelMode relabel, int threads) {
+  InitFrom(g, threads);
+  if (relabel == RelabelMode::kDegree) ApplyDegreeRelabel(threads);
+  FinishBuild(threads);
   // The mirror oracle compares adjacency in source ids; a relabeled
   // snapshot is intentionally a different labeling of the same graph, so
   // only the structural self-audit in FinishBuild applies there.
@@ -25,13 +27,32 @@ CsrGraph::CsrGraph(const Graph& g, RelabelMode relabel) {
   }
 }
 
-void CsrGraph::FinishBuild() {
-  BuildOrientedView();
+CsrGraph CsrGraph::FromFrozenParts(std::vector<size_t> offsets,
+                                   std::vector<Neighbor> entries,
+                                   std::vector<Edge> edges,
+                                   std::vector<VertexId> orig_of,
+                                   int threads) {
+  CsrGraph csr;
+  csr.offsets_ = std::move(offsets);
+  csr.entries_ = std::move(entries);
+  csr.edges_ = std::move(edges);
+  csr.edge_capacity_ = csr.edges_.size();
+  csr.orig_of_ = std::move(orig_of);
+  csr.FinishBuild(threads);
+  return csr;
+}
+
+void CsrGraph::FinishBuild(int threads) {
+  TKC_SPAN("csr.freeze");
+  BuildOrientedView(threads);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("csr.freeze.builds").Add(1);
+  registry.GetCounter("csr.freeze.entries").Add(entries_.size());
   TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckCsrStructure(*this),
                                    "CsrGraph::FinishBuild"));
 }
 
-void CsrGraph::BuildOrientedView() {
+void CsrGraph::BuildOrientedView(int threads) {
   const VertexId n = NumVertices();
   rank_.resize(n);
   std::vector<VertexId> by_rank(n);
@@ -42,24 +63,37 @@ void CsrGraph::BuildOrientedView() {
   });
   for (VertexId i = 0; i < n; ++i) rank_[by_rank[i]] = i;
 
+  // Out-degree counting and the filtered scatter are independent per
+  // vertex; only the prefix sum between them is serial. The out-counts are
+  // the same at any thread count, so the view stays bit-identical.
+  std::vector<size_t> out_count(n, 0);
+  ParallelFor(threads, n, [&](int, size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      size_t out = 0;
+      for (const Neighbor& nb : Neighbors(static_cast<VertexId>(v))) {
+        out += rank_[nb.vertex] > rank_[v];
+      }
+      out_count[v] = out;
+    }
+  });
   oriented_offsets_.assign(n + 1, 0);
   for (VertexId v = 0; v < n; ++v) {
-    size_t out = 0;
-    for (const Neighbor& nb : Neighbors(v)) out += rank_[nb.vertex] > rank_[v];
-    oriented_offsets_[v + 1] = oriented_offsets_[v] + out;
+    oriented_offsets_[v + 1] = oriented_offsets_[v] + out_count[v];
   }
   oriented_entries_.resize(oriented_offsets_[n]);
-  for (VertexId v = 0; v < n; ++v) {
-    // The full list is sorted by vertex id; filtering preserves that, so
-    // out-lists intersect by plain merge on the same key.
-    Neighbor* out = oriented_entries_.data() + oriented_offsets_[v];
-    for (const Neighbor& nb : Neighbors(v)) {
-      if (rank_[nb.vertex] > rank_[v]) *out++ = nb;
+  ParallelFor(threads, n, [&](int, size_t begin, size_t end) {
+    for (size_t v = begin; v < end; ++v) {
+      // The full list is sorted by vertex id; filtering preserves that, so
+      // out-lists intersect by plain merge on the same key.
+      Neighbor* out = oriented_entries_.data() + oriented_offsets_[v];
+      for (const Neighbor& nb : Neighbors(static_cast<VertexId>(v))) {
+        if (rank_[nb.vertex] > rank_[v]) *out++ = nb;
+      }
     }
-  }
+  });
 }
 
-void CsrGraph::ApplyDegreeRelabel() {
+void CsrGraph::ApplyDegreeRelabel(int threads) {
   const VertexId n = NumVertices();
   orig_of_.resize(n);
   std::iota(orig_of_.begin(), orig_of_.end(), VertexId{0});
@@ -78,23 +112,31 @@ void CsrGraph::ApplyDegreeRelabel() {
   for (VertexId i = 0; i < n; ++i) {
     offsets[i + 1] = offsets[i] + Degree(orig_of_[i]);
   }
+  // Per-new-vertex gather + sort writes a disjoint slice each, and the
+  // edge-endpoint remap touches disjoint ids — both split across the pool
+  // with the permutation itself (the ordering decision) already fixed.
   std::vector<Neighbor> entries(entries_.size());
-  for (VertexId i = 0; i < n; ++i) {
-    Neighbor* out = entries.data() + offsets[i];
-    for (const Neighbor& nb : Neighbors(orig_of_[i])) {
-      *out++ = Neighbor{new_of[nb.vertex], nb.edge};
+  ParallelFor(threads, n, [&](int, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Neighbor* out = entries.data() + offsets[i];
+      for (const Neighbor& nb : Neighbors(orig_of_[i])) {
+        *out++ = Neighbor{new_of[nb.vertex], nb.edge};
+      }
+      std::sort(entries.begin() + static_cast<ptrdiff_t>(offsets[i]),
+                entries.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
     }
-    std::sort(entries.begin() + static_cast<ptrdiff_t>(offsets[i]),
-              entries.begin() + static_cast<ptrdiff_t>(offsets[i + 1]));
-  }
+  });
   offsets_ = std::move(offsets);
   entries_ = std::move(entries);
-  for (Edge& edge : edges_) {
-    if (edge.u == kInvalidVertex) continue;
-    edge.u = new_of[edge.u];
-    edge.v = new_of[edge.v];
-    if (edge.u > edge.v) std::swap(edge.u, edge.v);
-  }
+  ParallelFor(threads, edges_.size(), [&](int, size_t begin, size_t end) {
+    for (size_t e = begin; e < end; ++e) {
+      Edge& edge = edges_[e];
+      if (edge.u == kInvalidVertex) continue;
+      edge.u = new_of[edge.u];
+      edge.v = new_of[edge.v];
+      if (edge.u > edge.v) std::swap(edge.u, edge.v);
+    }
+  });
 }
 
 EdgeId CsrGraph::FindEdge(VertexId u, VertexId v) const {
@@ -140,6 +182,15 @@ Graph CsrGraph::ToGraph() const {
   Graph g(NumVertices());
   ForEachEdge([&](EdgeId, const Edge& edge) { g.AddEdge(edge.u, edge.v); });
   return g;
+}
+
+Graph CsrGraph::ThawPreservingIds() const {
+  const VertexId n = NumVertices();
+  std::vector<std::vector<Neighbor>> adjacency(n);
+  for (VertexId v = 0; v < n; ++v) {
+    adjacency[v].assign(NeighborsBegin(v), NeighborsEnd(v));
+  }
+  return Graph::FromParts(std::move(adjacency), edges_);
 }
 
 }  // namespace tkc

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tkc/graph/graph.h"
+#include "tkc/util/parallel.h"
 
 namespace tkc {
 
@@ -43,22 +44,40 @@ enum class RelabelMode {
 class CsrGraph {
  public:
   /// Freezes `g`. O(|V| + |E|) (plus a sort of |V| when relabeling).
-  explicit CsrGraph(const Graph& g, RelabelMode relabel = RelabelMode::kNone);
+  /// `threads` follows the ResolveThreads convention (0 = default); the
+  /// parallel freeze is bit-identical to the serial one at any count.
+  explicit CsrGraph(const Graph& g, RelabelMode relabel = RelabelMode::kNone,
+                    int threads = 1);
 
   /// Freezes any graph-like source exposing NumVertices/Degree/Neighbors/
   /// EdgeCapacity/ForEachEdge with live-only sorted adjacency (Graph,
   /// DeltaCsr). EdgeIds are inherited unchanged — holes included — so
   /// per-edge attribute arrays stay valid against the snapshot. This is the
-  /// kernel DeltaCsr::Compact() rebuilds its base through.
+  /// kernel DeltaCsr::Compact() rebuilds its base through. `threads` only
+  /// splits independent per-vertex work (entry copies, adjacency sorts,
+  /// oriented scatter); every ordering decision stays serial, so the
+  /// result is bit-identical at any thread count.
   template <typename GraphT>
   static CsrGraph Freeze(const GraphT& g,
-                         RelabelMode relabel = RelabelMode::kNone) {
+                         RelabelMode relabel = RelabelMode::kNone,
+                         int threads = 1) {
     CsrGraph csr;
-    csr.InitFrom(g);
-    if (relabel == RelabelMode::kDegree) csr.ApplyDegreeRelabel();
-    csr.FinishBuild();
+    csr.InitFrom(g, threads);
+    if (relabel == RelabelMode::kDegree) csr.ApplyDegreeRelabel(threads);
+    csr.FinishBuild(threads);
     return csr;
   }
+
+  /// Reassembles a snapshot from its frozen arrays — the binary graph
+  /// cache's load path (io/graph_cache). The inputs must be exactly what
+  /// Raw*() of the cached snapshot returned; the oriented view is rebuilt
+  /// and the structural audit of FinishBuild applies. `orig_of` is empty
+  /// for an unrelabeled snapshot.
+  static CsrGraph FromFrozenParts(std::vector<size_t> offsets,
+                                  std::vector<Neighbor> entries,
+                                  std::vector<Edge> edges,
+                                  std::vector<VertexId> orig_of,
+                                  int threads = 1);
 
   VertexId NumVertices() const {
     return static_cast<VertexId>(offsets_.size() - 1);
@@ -207,31 +226,49 @@ class CsrGraph {
   /// result is a fresh graph with the same topology).
   Graph ToGraph() const;
 
+  /// Thaws back into a mutable Graph PRESERVING EdgeIds, holes included —
+  /// the cache-served path for commands that mutate. Note a relabeled
+  /// snapshot thaws in its relabeled vertex ids; callers that report
+  /// original ids must reject relabeled snapshots first.
+  Graph ThawPreservingIds() const;
+
+  /// Raw frozen arrays, exposed for the binary graph cache serializer
+  /// (io/graph_cache). Everything FromFrozenParts needs except the derived
+  /// oriented view, which the loader rebuilds.
+  const std::vector<size_t>& RawOffsets() const { return offsets_; }
+  const std::vector<Neighbor>& RawEntries() const { return entries_; }
+  const std::vector<Edge>& RawEdges() const { return edges_; }
+  const std::vector<VertexId>& RawOriginalIds() const { return orig_of_; }
+
  private:
   CsrGraph() = default;
 
   // Copies the adjacency, edge table, and capacity out of `g`; the oriented
-  // view and structural audit run afterwards in FinishBuild().
+  // view and structural audit run afterwards in FinishBuild(). The entry
+  // copy is split per vertex range (disjoint writes, read-only source), the
+  // offsets prefix sum and EdgeId scatter stay serial.
   template <typename GraphT>
-  void InitFrom(const GraphT& g) {
+  void InitFrom(const GraphT& g, int threads) {
     const VertexId n = g.NumVertices();
     offsets_.assign(n + 1, 0);
     for (VertexId v = 0; v < n; ++v) {
       offsets_[v + 1] = offsets_[v] + g.Degree(v);
     }
     entries_.resize(offsets_[n]);
-    for (VertexId v = 0; v < n; ++v) {
-      const auto& adj = g.Neighbors(v);
-      std::copy(adj.begin(), adj.end(), entries_.begin() + offsets_[v]);
-    }
+    ParallelFor(threads, n, [&](int, size_t begin, size_t end) {
+      for (size_t v = begin; v < end; ++v) {
+        const auto& adj = g.Neighbors(static_cast<VertexId>(v));
+        std::copy(adj.begin(), adj.end(), entries_.begin() + offsets_[v]);
+      }
+    });
     edge_capacity_ = g.EdgeCapacity();
     edges_.assign(edge_capacity_, Edge{});
     g.ForEachEdge([&](EdgeId e, const Edge& edge) { edges_[e] = edge; });
   }
 
-  void FinishBuild();
-  void BuildOrientedView();
-  void ApplyDegreeRelabel();
+  void FinishBuild(int threads);
+  void BuildOrientedView(int threads);
+  void ApplyDegreeRelabel(int threads);
 
   std::vector<size_t> offsets_;    // |V|+1
   std::vector<Neighbor> entries_;  // 2|E|, sorted per vertex

@@ -21,6 +21,20 @@ std::ptrdiff_t FindNeighborIndex(const std::vector<Neighbor>& adj, VertexId targ
 
 }  // namespace
 
+Graph Graph::FromParts(std::vector<std::vector<Neighbor>> adjacency,
+                       std::vector<Edge> edges) {
+  Graph g;
+  g.adjacency_ = std::move(adjacency);
+  g.edges_ = std::move(edges);
+  g.num_live_edges_ = 0;
+  for (const Edge& e : g.edges_) {
+    if (e.u != kInvalidVertex) ++g.num_live_edges_;
+  }
+  TKC_VERIFY_L1(verify::CheckOrDie(verify::CheckGraphStructure(g),
+                                   "Graph::FromParts"));
+  return g;
+}
+
 VertexId Graph::AddVertex() {
   adjacency_.emplace_back();
   return static_cast<VertexId>(adjacency_.size() - 1);

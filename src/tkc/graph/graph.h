@@ -66,6 +66,16 @@ class Graph {
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
 
+  /// Bulk constructor for the parallel ingest pipeline and the cache thaw
+  /// path: adopts a pre-built adjacency and dense edge table instead of
+  /// paying AddEdge's per-row O(deg) insertion. The caller must supply
+  /// exactly what the incremental path would have produced — per-vertex
+  /// lists sorted by neighbor id mirroring `edges`, edges normalized
+  /// u < v, dead ids tombstoned with u == kInvalidVertex — and a level-1
+  /// structural audit (verify::CheckGraphStructure) holds it to that.
+  static Graph FromParts(std::vector<std::vector<Neighbor>> adjacency,
+                         std::vector<Edge> edges);
+
   /// Appends a new isolated vertex and returns its id.
   VertexId AddVertex();
 

@@ -3,11 +3,20 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
+#include "tkc/io/parallel_ingest.h"
+#include "tkc/io/tokenizer.h"
 #include "tkc/obs/metrics.h"
 
 namespace tkc {
+
+void EmitEdgeListCounters(const EdgeListStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("io.skipped_lines").Add(stats.Skipped());
+  registry.GetCounter("io.malformed_lines").Add(stats.malformed_lines);
+  registry.GetCounter("io.self_loops").Add(stats.self_loops);
+  registry.GetCounter("io.duplicate_edges").Add(stats.duplicate_edges);
+}
 
 std::optional<Graph> ReadEdgeList(std::istream& in, EdgeListStats* stats) {
   Graph g;
@@ -15,24 +24,26 @@ std::optional<Graph> ReadEdgeList(std::istream& in, EdgeListStats* stats) {
   std::string line;
   while (std::getline(in, line)) {
     ++local.lines;
-    if (line.empty() || line[0] == '#' || line[0] == '%') {
-      ++local.comment_lines;
-      continue;
-    }
-    std::istringstream fields(line);
-    long long u = -1, v = -1;
-    if (!(fields >> u >> v) || u < 0 || v < 0 ||
-        u > static_cast<long long>(kInvalidVertex) - 1 ||
-        v > static_cast<long long>(kInvalidVertex) - 1) {
-      ++local.malformed_lines;
-      continue;
-    }
-    if (u == v) {
-      ++local.self_loops;
-      continue;
+    VertexId u = kInvalidVertex, v = kInvalidVertex;
+    switch (ClassifyEdgeLine(line, &u, &v)) {
+      case LineClass::kComment:
+        ++local.comment_lines;
+        continue;
+      case LineClass::kMalformed:
+        ++local.malformed_lines;
+        if (local.malformed_line_numbers.size() <
+            kMaxRecordedMalformedLines) {
+          local.malformed_line_numbers.push_back(local.lines);
+        }
+        continue;
+      case LineClass::kSelfLoop:
+        ++local.self_loops;
+        continue;
+      case LineClass::kData:
+        break;
     }
     bool inserted = false;
-    g.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v), &inserted);
+    g.AddEdge(u, v, &inserted);
     if (inserted) {
       ++local.edges_added;
     } else {
@@ -41,20 +52,16 @@ std::optional<Graph> ReadEdgeList(std::istream& in, EdgeListStats* stats) {
       ++local.duplicate_edges;
     }
   }
-  auto& registry = obs::MetricsRegistry::Global();
-  registry.GetCounter("io.skipped_lines").Add(local.Skipped());
-  registry.GetCounter("io.malformed_lines").Add(local.malformed_lines);
-  registry.GetCounter("io.self_loops").Add(local.self_loops);
-  registry.GetCounter("io.duplicate_edges").Add(local.duplicate_edges);
-  if (stats != nullptr) *stats = local;
+  EmitEdgeListCounters(local);
+  if (stats != nullptr) *stats = std::move(local);
   return g;
 }
 
 std::optional<Graph> ReadEdgeListFile(const std::string& path,
-                                      EdgeListStats* stats) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadEdgeList(in, stats);
+                                      EdgeListStats* stats, int threads) {
+  MappedFile file;
+  if (!file.Open(path)) return std::nullopt;
+  return ParseEdgeListBuffer(file.view(), threads, stats);
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& out) {
@@ -76,10 +83,12 @@ std::optional<std::vector<uint32_t>> ReadVertexAttributes(
   std::vector<uint32_t> attrs(num_vertices, 0);
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::istringstream fields(line);
     long long v = -1, a = -1;
-    if (!(fields >> v >> a) || v < 0 || a < 0) return std::nullopt;
+    const LineClass cls = ClassifyAttributeLine(line, &v, &a);
+    if (cls == LineClass::kComment) continue;
+    // This reader is fail-fast: attribute files are produced by tooling,
+    // not crawled, so a bad row means the wrong file.
+    if (cls != LineClass::kData) return std::nullopt;
     if (v >= static_cast<long long>(num_vertices)) return std::nullopt;
     attrs[static_cast<size_t>(v)] = static_cast<uint32_t>(a);
   }

@@ -30,11 +30,17 @@ struct EdgeListStats {
   uint64_t self_loops = 0;       // "u u" rows
   uint64_t duplicate_edges = 0;  // repeats, including reversed "v u" rows
   uint64_t edges_added = 0;      // rows that became live edges
+  // 1-based line numbers of the first few malformed rows (capped at
+  // tokenizer.h's kMaxRecordedMalformedLines), so the load warning can
+  // point at the offending rows instead of just counting them.
+  std::vector<uint64_t> malformed_line_numbers;
 
   /// Rows skipped for any reason (the io.skipped_lines counter).
   uint64_t Skipped() const {
     return malformed_lines + self_loops + duplicate_edges;
   }
+
+  friend bool operator==(const EdgeListStats&, const EdgeListStats&) = default;
 };
 
 /// Parses from a stream; never fails on row content (see above). `stats`,
@@ -42,10 +48,17 @@ struct EdgeListStats {
 std::optional<Graph> ReadEdgeList(std::istream& in,
                                   EdgeListStats* stats = nullptr);
 
-/// Reads from a file path. Returns std::nullopt when the file cannot be
-/// opened.
+/// Reads from a file path via the mmap/chunked pipeline (io/parallel_ingest);
+/// `threads` follows the ResolveThreads convention (0 = default pool width)
+/// and the result is bit-identical to ReadEdgeList at any thread count.
+/// Returns std::nullopt when the file cannot be opened.
 std::optional<Graph> ReadEdgeListFile(const std::string& path,
-                                      EdgeListStats* stats = nullptr);
+                                      EdgeListStats* stats = nullptr,
+                                      int threads = 1);
+
+/// Bumps the io.* metrics counters for one completed load. The stream and
+/// buffer readers both report through this.
+void EmitEdgeListCounters(const EdgeListStats& stats);
 
 /// Writes "u v" lines (live edges, increasing EdgeId), with a "# vertices
 /// edges" comment header.

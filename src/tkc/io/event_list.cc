@@ -3,11 +3,19 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 
+#include "tkc/io/parallel_ingest.h"
+#include "tkc/io/tokenizer.h"
 #include "tkc/obs/metrics.h"
 
 namespace tkc {
+
+void EmitEventListCounters(const EventListStats& stats) {
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("io.events_skipped").Add(stats.Skipped());
+  registry.GetCounter("io.events_malformed").Add(stats.malformed_lines);
+  registry.GetCounter("io.events_self_loops").Add(stats.self_loops);
+}
 
 std::optional<std::vector<EdgeEvent>> ReadEventList(std::istream& in,
                                                     EventListStats* stats) {
@@ -16,42 +24,37 @@ std::optional<std::vector<EdgeEvent>> ReadEventList(std::istream& in,
   std::string line;
   while (std::getline(in, line)) {
     ++local.lines;
-    if (line.empty() || line[0] == '#' || line[0] == '%') {
-      ++local.comment_lines;
-      continue;
+    EdgeEvent ev{};
+    switch (ClassifyEventLine(line, &ev)) {
+      case LineClass::kComment:
+        ++local.comment_lines;
+        continue;
+      case LineClass::kMalformed:
+        ++local.malformed_lines;
+        if (local.malformed_line_numbers.size() <
+            kMaxRecordedMalformedLines) {
+          local.malformed_line_numbers.push_back(local.lines);
+        }
+        continue;
+      case LineClass::kSelfLoop:
+        ++local.self_loops;
+        continue;
+      case LineClass::kData:
+        break;
     }
-    std::istringstream fields(line);
-    std::string op;
-    long long u = -1, v = -1;
-    if (!(fields >> op >> u >> v) || (op != "+" && op != "-") || u < 0 ||
-        v < 0 || u > static_cast<long long>(kInvalidVertex) - 1 ||
-        v > static_cast<long long>(kInvalidVertex) - 1) {
-      ++local.malformed_lines;
-      continue;
-    }
-    if (u == v) {
-      ++local.self_loops;
-      continue;
-    }
-    events.push_back(EdgeEvent{op == "+" ? EdgeEvent::Kind::kInsert
-                                         : EdgeEvent::Kind::kRemove,
-                               static_cast<VertexId>(u),
-                               static_cast<VertexId>(v)});
+    events.push_back(ev);
     ++local.events_parsed;
   }
-  auto& registry = obs::MetricsRegistry::Global();
-  registry.GetCounter("io.events_skipped").Add(local.Skipped());
-  registry.GetCounter("io.events_malformed").Add(local.malformed_lines);
-  registry.GetCounter("io.events_self_loops").Add(local.self_loops);
-  if (stats != nullptr) *stats = local;
+  EmitEventListCounters(local);
+  if (stats != nullptr) *stats = std::move(local);
   return events;
 }
 
 std::optional<std::vector<EdgeEvent>> ReadEventListFile(
-    const std::string& path, EventListStats* stats) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return ReadEventList(in, stats);
+    const std::string& path, EventListStats* stats, int threads) {
+  MappedFile file;
+  if (!file.Open(path)) return std::nullopt;
+  return ParseEventListBuffer(file.view(), threads, stats);
 }
 
 void WriteEventList(const std::vector<EdgeEvent>& events, std::ostream& out) {

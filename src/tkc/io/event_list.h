@@ -30,9 +30,15 @@ struct EventListStats {
   uint64_t malformed_lines = 0;  // bad op, non-numeric, out-of-range
   uint64_t self_loops = 0;       // "+ u u" / "- u u" rows
   uint64_t events_parsed = 0;    // rows that became events
+  // 1-based line numbers of the first few malformed rows (capped at
+  // tokenizer.h's kMaxRecordedMalformedLines).
+  std::vector<uint64_t> malformed_line_numbers;
 
   /// Rows skipped for any reason (the io.events_skipped counter).
   uint64_t Skipped() const { return malformed_lines + self_loops; }
+
+  friend bool operator==(const EventListStats&,
+                         const EventListStats&) = default;
 };
 
 /// Parses from a stream; never fails on row content (see above). `stats`,
@@ -40,10 +46,16 @@ struct EventListStats {
 std::optional<std::vector<EdgeEvent>> ReadEventList(
     std::istream& in, EventListStats* stats = nullptr);
 
-/// Reads from a file path. Returns std::nullopt when the file cannot be
-/// opened.
+/// Reads from a file path via the mmap/chunked pipeline (io/parallel_ingest);
+/// `threads` follows the ResolveThreads convention (0 = default pool width)
+/// and the result is bit-identical to ReadEventList at any thread count.
+/// Returns std::nullopt when the file cannot be opened.
 std::optional<std::vector<EdgeEvent>> ReadEventListFile(
-    const std::string& path, EventListStats* stats = nullptr);
+    const std::string& path, EventListStats* stats = nullptr, int threads = 1);
+
+/// Bumps the io.events_* metrics counters for one completed load. The
+/// stream and buffer readers both report through this.
+void EmitEventListCounters(const EventListStats& stats);
 
 /// Writes "+ u v" / "- u v" lines with a "# events" comment header.
 void WriteEventList(const std::vector<EdgeEvent>& events, std::ostream& out);

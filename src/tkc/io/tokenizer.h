@@ -1,0 +1,199 @@
+#ifndef TKC_IO_TOKENIZER_H_
+#define TKC_IO_TOKENIZER_H_
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "tkc/graph/edge_event.h"
+#include "tkc/graph/graph.h"
+
+namespace tkc {
+
+/// Shared tokenizer for the text readers (edge lists, event logs, vertex
+/// attributes) and the chunked parallel parser. One implementation of the
+/// tolerant skip-with-count row grammar, byte-compatible with the historic
+/// getline + istringstream loops:
+///
+///  * lines split on '\n' only (a trailing '\r' is ordinary whitespace, so
+///    CRLF inputs behave identically — and a bare "\r" line is malformed,
+///    not blank, exactly as before);
+///  * a line is a comment iff its FIRST raw byte is '#' or '%', or the
+///    line is empty — no leading-whitespace trim;
+///  * numbers are optionally signed decimal, istream-style: whitespace
+///    skipped first, overflow fails the field, and trailing junk after the
+///    last required field is ignored ("0 1 junk" parses as 0 1).
+///
+/// The stream readers and the mmap chunk parsers both classify through
+/// these helpers, which is what makes the parallel ingest bit-identical to
+/// the serial oracle at any thread count.
+
+/// How many malformed line numbers a reader records verbatim in its stats
+/// (the *count* is always exact; the recorded examples are capped so a
+/// hostile file cannot balloon the diagnostics).
+inline constexpr size_t kMaxRecordedMalformedLines = 8;
+
+/// Verdict for one raw line.
+enum class LineClass {
+  kComment,    // blank, '#...', '%...'
+  kMalformed,  // bad op token, non-numeric, negative, or out-of-range field
+  kSelfLoop,   // structurally valid but u == v
+  kData,       // parsed fields are valid
+};
+
+namespace io_internal {
+
+/// Matches std::isspace in the classic locale — the exact set operator>>
+/// skips between fields.
+constexpr bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+inline void SkipSpace(std::string_view* s) {
+  size_t i = 0;
+  while (i < s->size() && IsSpace((*s)[i])) ++i;
+  s->remove_prefix(i);
+}
+
+/// istream-equivalent `>> long long`: skip whitespace, optional sign, one
+/// or more decimal digits, stopping at the first non-digit. Fails (like
+/// failbit) on a missing digit or overflow. Advances `*s` past what it
+/// consumed on success.
+inline bool ParseLongLong(std::string_view* s, long long* out) {
+  SkipSpace(s);
+  size_t i = 0;
+  bool negative = false;
+  if (i < s->size() && ((*s)[i] == '+' || (*s)[i] == '-')) {
+    negative = (*s)[i] == '-';
+    ++i;
+  }
+  if (i >= s->size() || (*s)[i] < '0' || (*s)[i] > '9') return false;
+  // Accumulate negated so LLONG_MIN round-trips without UB.
+  constexpr long long kMin = std::numeric_limits<long long>::min();
+  long long value = 0;
+  for (; i < s->size() && (*s)[i] >= '0' && (*s)[i] <= '9'; ++i) {
+    const int digit = (*s)[i] - '0';
+    if (value < kMin / 10 || value * 10 < kMin + digit) {
+      // Overflow: consume the rest of the digit run and fail the field,
+      // mirroring num_get (which also reports failure, never a partial
+      // value we would act on).
+      while (i < s->size() && (*s)[i] >= '0' && (*s)[i] <= '9') ++i;
+      s->remove_prefix(i);
+      return false;
+    }
+    value = value * 10 - digit;
+  }
+  if (!negative && value == kMin) {
+    s->remove_prefix(i);
+    return false;
+  }
+  s->remove_prefix(i);
+  *out = negative ? value : -value;
+  return true;
+}
+
+/// Whitespace-delimited token, istream `>> std::string` style. Empty when
+/// the rest of the line is whitespace.
+inline std::string_view NextToken(std::string_view* s) {
+  SkipSpace(s);
+  size_t i = 0;
+  while (i < s->size() && !IsSpace((*s)[i])) ++i;
+  std::string_view token = s->substr(0, i);
+  s->remove_prefix(i);
+  return token;
+}
+
+inline bool IsCommentLine(std::string_view line) {
+  return line.empty() || line[0] == '#' || line[0] == '%';
+}
+
+/// Parses "u v" after any op token has been consumed; shared tail of the
+/// edge and event grammars (range-checked against the VertexId domain).
+inline LineClass ClassifyEndpoints(std::string_view rest, VertexId* u,
+                                   VertexId* v) {
+  long long lu = -1, lv = -1;
+  if (!ParseLongLong(&rest, &lu) || !ParseLongLong(&rest, &lv) || lu < 0 ||
+      lv < 0 || lu > static_cast<long long>(kInvalidVertex) - 1 ||
+      lv > static_cast<long long>(kInvalidVertex) - 1) {
+    return LineClass::kMalformed;
+  }
+  if (lu == lv) return LineClass::kSelfLoop;
+  *u = static_cast<VertexId>(lu);
+  *v = static_cast<VertexId>(lv);
+  return LineClass::kData;
+}
+
+}  // namespace io_internal
+
+/// Classifies one raw "u v" line; fills *u/*v on kData.
+inline LineClass ClassifyEdgeLine(std::string_view line, VertexId* u,
+                                  VertexId* v) {
+  if (io_internal::IsCommentLine(line)) return LineClass::kComment;
+  return io_internal::ClassifyEndpoints(line, u, v);
+}
+
+/// Classifies one raw "+ u v" / "- u v" line; fills *ev on kData. The op
+/// must be exactly "+" or "-" as its own token ("+0 1" is malformed).
+inline LineClass ClassifyEventLine(std::string_view line, EdgeEvent* ev) {
+  if (io_internal::IsCommentLine(line)) return LineClass::kComment;
+  const std::string_view op = io_internal::NextToken(&line);
+  if (op != "+" && op != "-") return LineClass::kMalformed;
+  VertexId u = kInvalidVertex, v = kInvalidVertex;
+  const LineClass cls = io_internal::ClassifyEndpoints(line, &u, &v);
+  if (cls != LineClass::kData) return cls;
+  ev->kind = op == "+" ? EdgeEvent::Kind::kInsert : EdgeEvent::Kind::kRemove;
+  ev->u = u;
+  ev->v = v;
+  return LineClass::kData;
+}
+
+/// Classifies one "vertex attribute" row. Unlike the edge grammar this
+/// reader is fail-fast (a bad row fails the whole load), so the verdict is
+/// only kComment / kMalformed / kData; the range check against the vertex
+/// count stays with the caller.
+inline LineClass ClassifyAttributeLine(std::string_view line, long long* v,
+                                       long long* a) {
+  if (io_internal::IsCommentLine(line)) return LineClass::kComment;
+  if (!io_internal::ParseLongLong(&line, v) ||
+      !io_internal::ParseLongLong(&line, a) || *v < 0 || *a < 0) {
+    return LineClass::kMalformed;
+  }
+  return LineClass::kData;
+}
+
+/// Forward iterator over '\n'-separated lines of a text buffer, with
+/// std::getline framing: the final line is yielded whether or not the
+/// buffer ends in '\n', and "a\n\n" is two lines ("a", ""). Yields views
+/// into the underlying buffer (no copies) and 1-based line numbers.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text) : text_(text) {}
+
+  /// Advances to the next line; returns false at end of buffer.
+  bool Next(std::string_view* line) {
+    if (pos_ >= text_.size()) return false;
+    const size_t nl = text_.find('\n', pos_);
+    if (nl == std::string_view::npos) {
+      *line = text_.substr(pos_);
+      pos_ = text_.size();
+    } else {
+      *line = text_.substr(pos_, nl - pos_);
+      pos_ = nl + 1;
+    }
+    ++line_number_;
+    return true;
+  }
+
+  /// 1-based number of the line most recently returned by Next().
+  uint64_t line_number() const { return line_number_; }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  uint64_t line_number_ = 0;
+};
+
+}  // namespace tkc
+
+#endif  // TKC_IO_TOKENIZER_H_

@@ -578,5 +578,168 @@ TEST_F(CliTest, LogTimestampsFlag) {
   EXPECT_EQ(err.rfind("level=info", 0), 0u);
 }
 
+// Output rows with the timing footer stripped — '#' lines carry seconds=
+// values that legitimately differ between runs.
+std::string DataRows(const std::string& out) {
+  std::istringstream in(out);
+  std::string line, rows;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    rows += line;
+    rows += '\n';
+  }
+  return rows;
+}
+
+TEST_F(CliTest, IngestThreadsFlagKeepsOutputIdentical) {
+  std::string serial, parallel;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--ingest-threads=1"},
+                &serial),
+            0);
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--ingest-threads=8"},
+                &parallel),
+            0);
+  EXPECT_EQ(DataRows(serial), DataRows(parallel));
+
+  std::string out, err;
+  EXPECT_EQ(RunTool({"decompose", edges_path_, "--ingest-threads=-1"}, &out,
+                &err),
+            2);
+  EXPECT_NE(err.find("--ingest-threads"), std::string::npos);
+}
+
+TEST_F(CliTest, CacheBuildLoadAndServe) {
+  const std::string cache = TempPath("cli_cache.tkcg");
+  std::string out, err;
+  ASSERT_EQ(RunTool({"cache", "build", edges_path_, "--out=" + cache}, &out),
+            0);
+  EXPECT_NE(out.find("wrote " + cache), std::string::npos);
+  ASSERT_EQ(RunTool({"cache", "load", cache}, &out), 0);
+  EXPECT_NE(out.find("version=1"), std::string::npos);
+  EXPECT_NE(out.find("relabeled=no"), std::string::npos);
+
+  // Rows served from the cache are byte-identical to text ingest.
+  std::string text_rows, cache_rows;
+  ASSERT_EQ(RunTool({"decompose", edges_path_}, &text_rows), 0);
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--graph-cache=" + cache},
+                &cache_rows, &err),
+            0);
+  EXPECT_EQ(DataRows(text_rows), DataRows(cache_rows));
+
+  // Missing verb / unknown verb are usage errors.
+  EXPECT_EQ(RunTool({"cache", "frobnicate", cache}, &out, &err), 2);
+  EXPECT_NE(err.find("unknown cache subcommand"), std::string::npos);
+  EXPECT_EQ(RunTool({"cache", "build", edges_path_}, &out, &err), 2);
+  EXPECT_NE(err.find("--out"), std::string::npos);
+}
+
+TEST_F(CliTest, GraphCacheMissBuildsThenHits) {
+  const std::string cache = TempPath("cli_cache_miss.tkcg");
+  std::remove(cache.c_str());
+  std::string first, second, err;
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--graph-cache=" + cache,
+                 "--log-level=info"},
+                &first, &err),
+            0);
+  EXPECT_NE(err.find("cache.miss"), std::string::npos);
+  EXPECT_NE(err.find("cache.written"), std::string::npos);
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--graph-cache=" + cache,
+                 "--log-level=info"},
+                &second, &err),
+            0);
+  EXPECT_NE(err.find("cache.loaded"), std::string::npos);
+  EXPECT_EQ(DataRows(first), DataRows(second));
+}
+
+TEST_F(CliTest, CorruptedGraphCacheIsHardErrorWithNamedReason) {
+  const std::string cache = TempPath("cli_cache_corrupt.tkcg");
+  std::string out, err;
+  ASSERT_EQ(RunTool({"cache", "build", edges_path_, "--out=" + cache}, &out),
+            0);
+  {
+    std::fstream file(cache, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(80);
+    file.put('\x7f');
+  }
+  EXPECT_EQ(RunTool({"decompose", edges_path_, "--graph-cache=" + cache},
+                &out, &err),
+            2);
+  EXPECT_NE(err.find("rejected: checksum_mismatch"), std::string::npos);
+  EXPECT_EQ(RunTool({"cache", "load", cache}, &out, &err), 2);
+  EXPECT_NE(err.find("checksum_mismatch"), std::string::npos);
+}
+
+TEST_F(CliTest, RelabeledCacheRejectedByVertexKeyedCommands) {
+  const std::string cache = TempPath("cli_cache_degree.tkcg");
+  std::string out, err;
+  ASSERT_EQ(RunTool({"cache", "build", edges_path_, "--out=" + cache,
+                 "--relabel=degree"},
+                &out),
+            0);
+  EXPECT_EQ(RunTool({"kcore", edges_path_, "--graph-cache=" + cache}, &out,
+                &err),
+            2);
+  EXPECT_NE(err.find("degree-relabeled"), std::string::npos);
+  // decompose translates ids back, so the same cache serves it fine.
+  std::string text_rows, cache_rows;
+  ASSERT_EQ(RunTool({"decompose", edges_path_}, &text_rows), 0);
+  ASSERT_EQ(RunTool({"decompose", edges_path_, "--graph-cache=" + cache},
+                &cache_rows),
+            0);
+  EXPECT_EQ(DataRows(text_rows), DataRows(cache_rows));
+}
+
+TEST_F(CliTest, ReplayWithGraphCacheReportsCacheStats) {
+  const std::string cache = TempPath("cli_cache_replay.tkcg");
+  const std::string events = TempPath("cli_cache_replay_events.txt");
+  {
+    std::ofstream file(events);
+    file << "+ 0 5\n+ 1 5\n- 0 1\n";
+  }
+  std::string out, err;
+  ASSERT_EQ(RunTool({"cache", "build", edges_path_, "--out=" + cache}, &out),
+            0);
+  const std::string json = TempPath("cli_cache_replay.json");
+  ASSERT_EQ(RunTool({"replay", edges_path_, "--events=" + events,
+                 "--graph-cache=" + cache, "--verify",
+                 "--json-out=" + json},
+                &out, &err),
+            0);
+  EXPECT_NE(out.find("cache_hits=1"), std::string::npos);
+  EXPECT_NE(out.find("verified=yes"), std::string::npos);
+  std::ifstream file(json);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  auto doc = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  const obs::JsonValue* cache_json = doc->Find("cache");
+  ASSERT_NE(cache_json, nullptr);
+  EXPECT_EQ(cache_json->Find("hits")->Number(), 1.0);
+  EXPECT_EQ(cache_json->Find("misses")->Number(), 0.0);
+  EXPECT_EQ(cache_json->Find("checksum_failures")->Number(), 0.0);
+}
+
+TEST_F(CliTest, MetricsArtifactCarriesCacheCounters) {
+  const std::string metrics = TempPath("cli_cache_metrics.json");
+  std::string out;
+  ASSERT_EQ(RunTool({"stats", edges_path_, "--metrics-out=" + metrics},
+                &out),
+            0);
+  std::ifstream file(metrics);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  auto doc = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(doc.has_value());
+  // Pre-created at startup: present (and zero) even with no cache in play.
+  const obs::JsonValue* counters = doc->FindPath("metrics.counters");
+  ASSERT_NE(counters, nullptr);
+  for (const char* name :
+       {"cache.hits", "cache.misses", "cache.checksum_failures"}) {
+    const obs::JsonValue* counter = counters->Find(name);
+    ASSERT_NE(counter, nullptr) << name;
+    EXPECT_EQ(counter->Number(), 0.0) << name;
+  }
+}
+
 }  // namespace
 }  // namespace tkc

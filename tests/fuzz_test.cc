@@ -11,11 +11,15 @@
 
 #include <algorithm>
 #include <span>
+#include <sstream>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 #include "tkc/core/analysis_context.h"
+#include "tkc/io/edge_list.h"
+#include "tkc/io/parallel_ingest.h"
 #include "tkc/core/dynamic_core.h"
 #include "tkc/core/ordered_core.h"
 #include "tkc/core/parallel_peel.h"
@@ -420,6 +424,91 @@ INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchFuzzTest,
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return "batch" + std::to_string(info.param);
                          });
+
+// --- Ingest axis: chunked parallel parse + freeze vs the serial oracle ---
+//
+// The parallel ingest pipeline promises the exact edge sequence, EdgeIds,
+// stats, and frozen CSR arrays of the serial stream reader at any thread
+// count. This driver generates junk-injected edge-list text (malformed
+// rows, duplicates, reversed rows, self-loops, comments, missing final
+// newline) and holds the chunked parse + parallel freeze to the serial
+// path across a threads × relabel grid.
+
+class IngestFuzzTest
+    : public ::testing::TestWithParam<std::tuple<int, RelabelMode>> {};
+
+TEST_P(IngestFuzzTest, ChunkedParseAndFreezeMatchSerialOracle) {
+  const auto [threads, relabel] = GetParam();
+  Rng rng(7700001 + static_cast<uint64_t>(threads) * 13 +
+          (relabel == RelabelMode::kDegree ? 7 : 0));
+  for (int round = 0; round < 6; ++round) {
+    std::ostringstream text;
+    const uint64_t n = 40 + rng.NextBounded(260);
+    const uint64_t rows = 200 + rng.NextBounded(1800);
+    for (uint64_t i = 0; i < rows; ++i) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.03) {
+        text << "# comment " << i << '\n';
+      } else if (roll < 0.06) {
+        text << "garbage " << i << '\n';
+      } else if (roll < 0.08) {
+        text << "-" << rng.NextBounded(n) << ' ' << rng.NextBounded(n) << '\n';
+      } else if (roll < 0.11) {
+        const uint64_t u = rng.NextBounded(n);
+        text << u << ' ' << u << '\n';
+      } else {
+        text << rng.NextBounded(n) << ' ' << rng.NextBounded(n) << '\n';
+      }
+    }
+    std::string buffer = text.str();
+    if (rng.NextBool(0.5) && !buffer.empty()) buffer.pop_back();
+
+    std::istringstream stream(buffer);
+    EdgeListStats oracle_stats;
+    auto oracle = ReadEdgeList(stream, &oracle_stats);
+    ASSERT_TRUE(oracle.has_value());
+
+    EdgeListStats stats;
+    Graph parsed = ParseEdgeListBuffer(buffer, threads, &stats);
+    ASSERT_EQ(stats, oracle_stats) << "round " << round;
+    ASSERT_EQ(parsed.NumVertices(), oracle->NumVertices()) << "round " << round;
+    ASSERT_EQ(parsed.NumEdges(), oracle->NumEdges()) << "round " << round;
+    oracle->ForEachEdge([&](EdgeId e, const Edge& edge) {
+      const Edge got = parsed.GetEdge(e);
+      ASSERT_EQ(got.u, edge.u) << "round " << round << " edge " << e;
+      ASSERT_EQ(got.v, edge.v) << "round " << round << " edge " << e;
+    });
+
+    // Freeze determinism on the parsed graph: parallel freeze arrays are
+    // byte-identical to the serial freeze in the parameterized relabel
+    // mode, and κ is identical edge-for-edge.
+    CsrGraph serial = CsrGraph::Freeze(*oracle, relabel, /*threads=*/1);
+    CsrGraph parallel = CsrGraph::Freeze(parsed, relabel, threads);
+    ASSERT_EQ(serial.RawOffsets(), parallel.RawOffsets()) << "round " << round;
+    ASSERT_EQ(serial.RawEntries().size(), parallel.RawEntries().size());
+    for (size_t i = 0; i < serial.RawEntries().size(); ++i) {
+      ASSERT_EQ(serial.RawEntries()[i].vertex, parallel.RawEntries()[i].vertex)
+          << "round " << round << " entry " << i;
+      ASSERT_EQ(serial.RawEntries()[i].edge, parallel.RawEntries()[i].edge)
+          << "round " << round << " entry " << i;
+    }
+    ASSERT_EQ(serial.RawOriginalIds(), parallel.RawOriginalIds());
+    ASSERT_EQ(ComputeTriangleCores(serial).kappa,
+              ComputeTriangleCores(parallel).kappa)
+        << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndRelabel, IngestFuzzTest,
+    ::testing::Combine(::testing::Values(1, 2, 8),
+                       ::testing::Values(RelabelMode::kNone,
+                                         RelabelMode::kDegree)),
+    [](const ::testing::TestParamInfo<IngestFuzzTest::ParamType>& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == RelabelMode::kDegree ? "_degree"
+                                                              : "_none");
+    });
 
 TEST(FuzzTest, ReplayOracleOverGeneratedEventLog) {
   // Random mixed event log driven through the verify-layer replay oracle:

@@ -1,0 +1,378 @@
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include "tkc/core/triangle_core.h"
+#include "tkc/gen/generators.h"
+#include "tkc/graph/csr.h"
+#include "tkc/io/edge_list.h"
+#include "tkc/io/event_list.h"
+#include "tkc/io/graph_cache.h"
+#include "tkc/io/parallel_ingest.h"
+#include "tkc/io/tokenizer.h"
+#include "tkc/util/random.h"
+
+namespace tkc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Edge> EdgeTable(const Graph& g) {
+  std::vector<Edge> edges;
+  g.ForEachEdge([&](EdgeId, const Edge& e) { edges.push_back(e); });
+  return edges;
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  EXPECT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  const std::vector<Edge> ea = EdgeTable(a);
+  const std::vector<Edge> eb = EdgeTable(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].u, eb[i].u) << "edge " << i;
+    EXPECT_EQ(ea[i].v, eb[i].v) << "edge " << i;
+  }
+}
+
+void ExpectSameFrozen(const CsrGraph& a, const CsrGraph& b) {
+  EXPECT_EQ(a.RawOffsets(), b.RawOffsets());
+  ASSERT_EQ(a.RawEntries().size(), b.RawEntries().size());
+  for (size_t i = 0; i < a.RawEntries().size(); ++i) {
+    EXPECT_EQ(a.RawEntries()[i].vertex, b.RawEntries()[i].vertex)
+        << "entry " << i;
+    EXPECT_EQ(a.RawEntries()[i].edge, b.RawEntries()[i].edge) << "entry " << i;
+  }
+  ASSERT_EQ(a.RawEdges().size(), b.RawEdges().size());
+  for (size_t i = 0; i < a.RawEdges().size(); ++i) {
+    EXPECT_EQ(a.RawEdges()[i].u, b.RawEdges()[i].u) << "edge " << i;
+    EXPECT_EQ(a.RawEdges()[i].v, b.RawEdges()[i].v) << "edge " << i;
+  }
+  EXPECT_EQ(a.RawOriginalIds(), b.RawOriginalIds());
+}
+
+// Messy-but-realistic edge list: comments, duplicates, reversed rows,
+// self-loops, and malformed junk interleaved with real rows.
+std::string MessyEdgeText(uint64_t seed, size_t rows) {
+  Rng rng(seed);
+  std::ostringstream text;
+  text << "# header comment\n% pajek style\n\n";
+  for (size_t i = 0; i < rows; ++i) {
+    const double roll = rng.NextDouble();
+    const uint64_t u = rng.NextBounded(300);
+    const uint64_t v = rng.NextBounded(300);
+    if (roll < 0.04) {
+      text << "junk line " << i << '\n';
+    } else if (roll < 0.07) {
+      text << "-3 " << v << '\n';
+    } else if (roll < 0.10) {
+      text << u << '\n';
+    } else if (roll < 0.14) {
+      text << u << ' ' << u << '\n';
+    } else {
+      text << u << ' ' << v << '\n';
+    }
+  }
+  return text.str();
+}
+
+TEST(TokenizerTest, LinePins) {
+  VertexId u = 0;
+  VertexId v = 0;
+  // Trailing junk after two valid ids is ignored (istringstream semantics).
+  EXPECT_EQ(ClassifyEdgeLine("0 1 junk", &u, &v), LineClass::kData);
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(v, 1u);
+  // operator>> stops at the first non-digit: "1abc" parses as 1.
+  EXPECT_EQ(ClassifyEdgeLine("0 1abc", &u, &v), LineClass::kData);
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(ClassifyEdgeLine("7 7", &u, &v), LineClass::kSelfLoop);
+  EXPECT_EQ(ClassifyEdgeLine("# comment", &u, &v), LineClass::kComment);
+  EXPECT_EQ(ClassifyEdgeLine("", &u, &v), LineClass::kComment);
+  EXPECT_EQ(ClassifyEdgeLine("   ", &u, &v), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("\r", &u, &v), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("-1 2", &u, &v), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("3", &u, &v), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("0 4294967295", &u, &v), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("99999999999999999999 1", &u, &v),
+            LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEdgeLine("0 1\r", &u, &v), LineClass::kData);
+
+  EdgeEvent ev{};
+  EXPECT_EQ(ClassifyEventLine("+ 0 1", &ev), LineClass::kData);
+  EXPECT_EQ(ev.kind, EdgeEvent::Kind::kInsert);
+  EXPECT_EQ(ClassifyEventLine("- 2 3", &ev), LineClass::kData);
+  EXPECT_EQ(ev.kind, EdgeEvent::Kind::kRemove);
+  // The op must be its own whitespace-delimited token.
+  EXPECT_EQ(ClassifyEventLine("+0 1", &ev), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEventLine("* 0 1", &ev), LineClass::kMalformed);
+  EXPECT_EQ(ClassifyEventLine("+ 4 4", &ev), LineClass::kSelfLoop);
+}
+
+TEST(TokenizerTest, LineCursorFraming) {
+  LineCursor cursor("a\n\nb");
+  std::string_view line;
+  ASSERT_TRUE(cursor.Next(&line));
+  EXPECT_EQ(line, "a");
+  EXPECT_EQ(cursor.line_number(), 1u);
+  ASSERT_TRUE(cursor.Next(&line));
+  EXPECT_EQ(line, "");
+  ASSERT_TRUE(cursor.Next(&line));
+  EXPECT_EQ(line, "b");
+  EXPECT_EQ(cursor.line_number(), 3u);
+  EXPECT_FALSE(cursor.Next(&line));
+
+  LineCursor empty("");
+  EXPECT_FALSE(empty.Next(&line));
+
+  // A trailing newline does not produce a phantom final line.
+  LineCursor trailing("x\ny\n");
+  size_t count = 0;
+  while (trailing.Next(&line)) ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+// The tentpole determinism claim: the chunked parallel parser produces a
+// byte-identical graph, stats, and malformed line numbers at every thread
+// count, matching the serial stream reader exactly.
+TEST(ParallelIngestTest, EdgeParseDeterministicAcrossThreads) {
+  const std::string text = MessyEdgeText(11, 4000);
+  std::istringstream stream(text);
+  EdgeListStats oracle_stats;
+  auto oracle = ReadEdgeList(stream, &oracle_stats);
+  ASSERT_TRUE(oracle.has_value());
+  ASSERT_GT(oracle_stats.malformed_lines, 0u);
+  ASSERT_FALSE(oracle_stats.malformed_line_numbers.empty());
+
+  for (int threads : {1, 2, 8}) {
+    EdgeListStats stats;
+    Graph g = ParseEdgeListBuffer(text, threads, &stats);
+    EXPECT_EQ(stats, oracle_stats) << "threads=" << threads;
+    ExpectSameGraph(*oracle, g);
+  }
+}
+
+TEST(ParallelIngestTest, FreezeDeterministicAcrossThreads) {
+  Rng rng(5);
+  Graph g = PowerLawCluster(1500, 5, 0.4, rng);
+  for (RelabelMode mode : {RelabelMode::kNone, RelabelMode::kDegree}) {
+    CsrGraph serial = CsrGraph::Freeze(g, mode, 1);
+    for (int threads : {2, 8}) {
+      CsrGraph parallel = CsrGraph::Freeze(g, mode, threads);
+      ExpectSameFrozen(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelIngestTest, EventParseDeterministicAcrossThreads) {
+  Rng rng(19);
+  std::ostringstream text;
+  text << "# events\n";
+  for (int i = 0; i < 3000; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.05) {
+      text << "+0 bad\n";
+    } else if (roll < 0.08) {
+      text << "* 1 2\n";
+    } else {
+      text << (rng.NextBool(0.7) ? '+' : '-') << ' ' << rng.NextBounded(200)
+           << ' ' << rng.NextBounded(200) << '\n';
+    }
+  }
+  const std::string buffer = text.str();
+  std::istringstream stream(buffer);
+  EventListStats oracle_stats;
+  auto oracle = ReadEventList(stream, &oracle_stats);
+  ASSERT_TRUE(oracle.has_value());
+  for (int threads : {1, 2, 8}) {
+    EventListStats stats;
+    std::vector<EdgeEvent> events = ParseEventListBuffer(buffer, threads, &stats);
+    EXPECT_EQ(stats, oracle_stats) << "threads=" << threads;
+    ASSERT_EQ(events.size(), oracle->size());
+    for (size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].kind, (*oracle)[i].kind);
+      EXPECT_EQ(events[i].u, (*oracle)[i].u);
+      EXPECT_EQ(events[i].v, (*oracle)[i].v);
+    }
+  }
+}
+
+TEST(ParallelIngestTest, MalformedLineNumbersAreGlobalAndOneBased) {
+  const std::string text = "0 1\njunk\n2 3\n\nbad row\n4 5\n";
+  for (int threads : {1, 4}) {
+    EdgeListStats stats;
+    (void)ParseEdgeListBuffer(text, threads, &stats);
+    EXPECT_EQ(stats.malformed_lines, 2u);
+    ASSERT_EQ(stats.malformed_line_numbers.size(), 2u);
+    EXPECT_EQ(stats.malformed_line_numbers[0], 2u);
+    EXPECT_EQ(stats.malformed_line_numbers[1], 5u);
+  }
+}
+
+TEST(ParallelIngestTest, FileReaderMatchesStreamReader) {
+  const std::string text = MessyEdgeText(23, 1000);
+  const std::string path = TempPath("ingest_messy.txt");
+  {
+    std::ofstream file(path, std::ios::binary);
+    file << text;
+  }
+  std::istringstream stream(text);
+  EdgeListStats oracle_stats;
+  auto oracle = ReadEdgeList(stream, &oracle_stats);
+  ASSERT_TRUE(oracle.has_value());
+  for (int threads : {1, 8}) {
+    EdgeListStats stats;
+    auto g = ReadEdgeListFile(path, &stats, threads);
+    ASSERT_TRUE(g.has_value());
+    EXPECT_EQ(stats, oracle_stats);
+    ExpectSameGraph(*oracle, *g);
+  }
+  EXPECT_FALSE(ReadEdgeListFile(TempPath("ingest_missing.txt")).has_value());
+}
+
+class GraphCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    graph_ = PowerLawCluster(600, 4, 0.3, rng);
+    path_ = TempPath("ingest_cache.tkcg");
+  }
+
+  std::vector<char> ReadBytes() {
+    std::ifstream file(path_, std::ios::binary);
+    return std::vector<char>(std::istreambuf_iterator<char>(file),
+                             std::istreambuf_iterator<char>());
+  }
+
+  void WriteBytes(const std::vector<char>& bytes) {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  CacheStatus LoadStatus() {
+    CacheStatus status = CacheStatus::kOk;
+    auto loaded = LoadGraphCache(path_, 1, &status);
+    EXPECT_FALSE(loaded.has_value());
+    return status;
+  }
+
+  Graph graph_;
+  std::string path_;
+};
+
+TEST_F(GraphCacheTest, RoundTripBothRelabelModes) {
+  for (RelabelMode mode : {RelabelMode::kNone, RelabelMode::kDegree}) {
+    CsrGraph frozen = CsrGraph::Freeze(graph_, mode);
+    ASSERT_TRUE(WriteGraphCache(frozen, path_));
+    CacheStatus status = CacheStatus::kOk;
+    GraphCacheInfo info;
+    auto loaded = LoadGraphCache(path_, 4, &status, nullptr, &info);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(status, CacheStatus::kOk);
+    EXPECT_EQ(info.version, kGraphCacheVersion);
+    EXPECT_EQ(info.relabeled, mode == RelabelMode::kDegree);
+    ExpectSameFrozen(frozen, *loaded);
+
+    // The decomposition of the loaded snapshot is identical — κ edge by
+    // edge, not just aggregates.
+    TriangleCoreResult want = ComputeTriangleCores(frozen);
+    TriangleCoreResult got = ComputeTriangleCores(*loaded);
+    EXPECT_EQ(want.kappa, got.kappa);
+    EXPECT_EQ(want.max_kappa, got.max_kappa);
+    EXPECT_EQ(want.triangle_count, got.triangle_count);
+  }
+}
+
+TEST_F(GraphCacheTest, MissingFileIsIoError) {
+  path_ = TempPath("ingest_cache_missing.tkcg");
+  EXPECT_EQ(LoadStatus(), CacheStatus::kIoError);
+}
+
+TEST_F(GraphCacheTest, RejectsBadMagic) {
+  ASSERT_TRUE(WriteGraphCache(CsrGraph::Freeze(graph_), path_));
+  std::vector<char> bytes = ReadBytes();
+  bytes[0] = 'X';
+  WriteBytes(bytes);
+  EXPECT_EQ(LoadStatus(), CacheStatus::kBadMagic);
+}
+
+TEST_F(GraphCacheTest, RejectsVersionMismatch) {
+  ASSERT_TRUE(WriteGraphCache(CsrGraph::Freeze(graph_), path_));
+  std::vector<char> bytes = ReadBytes();
+  const uint32_t future_version = kGraphCacheVersion + 9;
+  std::memcpy(bytes.data() + 4, &future_version, sizeof(future_version));
+  WriteBytes(bytes);
+  EXPECT_EQ(LoadStatus(), CacheStatus::kBadVersion);
+}
+
+TEST_F(GraphCacheTest, RejectsTruncation) {
+  ASSERT_TRUE(WriteGraphCache(CsrGraph::Freeze(graph_), path_));
+  std::vector<char> bytes = ReadBytes();
+  // Both a mid-payload cut and a mid-header cut must be caught.
+  WriteBytes(std::vector<char>(bytes.begin(), bytes.begin() + 200));
+  EXPECT_EQ(LoadStatus(), CacheStatus::kTruncated);
+  WriteBytes(std::vector<char>(bytes.begin(), bytes.begin() + 20));
+  EXPECT_EQ(LoadStatus(), CacheStatus::kTruncated);
+}
+
+TEST_F(GraphCacheTest, RejectsFlippedPayloadByte) {
+  ASSERT_TRUE(WriteGraphCache(CsrGraph::Freeze(graph_), path_));
+  std::vector<char> bytes = ReadBytes();
+  bytes[bytes.size() - 5] ^= 0x40;
+  WriteBytes(bytes);
+  EXPECT_EQ(LoadStatus(), CacheStatus::kChecksumMismatch);
+}
+
+TEST_F(GraphCacheTest, RejectsBadStructureEvenWithValidChecksum) {
+  ASSERT_TRUE(WriteGraphCache(CsrGraph::Freeze(graph_), path_));
+  std::vector<char> bytes = ReadBytes();
+  // Corrupt offsets[0] (first payload word), then re-sign the payload so
+  // only the structural validator can catch it.
+  const size_t kHeaderBytes = 56;
+  const uint64_t bogus = 0xDEADBEEFull;
+  std::memcpy(bytes.data() + kHeaderBytes, &bogus, sizeof(bogus));
+  const uint64_t checksum = XxHash64(bytes.data() + kHeaderBytes,
+                                     bytes.size() - kHeaderBytes,
+                                     kGraphCacheVersion);
+  std::memcpy(bytes.data() + 48, &checksum, sizeof(checksum));
+  WriteBytes(bytes);
+  EXPECT_EQ(LoadStatus(), CacheStatus::kBadStructure);
+}
+
+TEST_F(GraphCacheTest, StatusNamesAreStable) {
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kOk), "ok");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kIoError), "io_error");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kBadMagic), "bad_magic");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kBadVersion), "bad_version");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kTruncated), "truncated");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kChecksumMismatch),
+               "checksum_mismatch");
+  EXPECT_STREQ(CacheStatusName(CacheStatus::kBadStructure), "bad_structure");
+}
+
+TEST(ThawTest, ThawPreservesEdgeIdsAndAdjacency) {
+  Rng rng(31);
+  Graph g = GnmRandom(300, 900, rng);
+  CsrGraph frozen = CsrGraph::Freeze(g);
+  Graph thawed = frozen.ThawPreservingIds();
+  ExpectSameGraph(g, thawed);
+  // Refreezing the thawed graph reproduces the same frozen arrays.
+  ExpectSameFrozen(frozen, CsrGraph::Freeze(thawed));
+}
+
+TEST(XxHashTest, KnownVectors) {
+  // Reference values from the canonical XXH64 implementation.
+  EXPECT_EQ(XxHash64(nullptr, 0, 0), 0xEF46DB3751D8E999ull);
+  const char* abc = "abc";
+  EXPECT_EQ(XxHash64(abc, 3, 0), 0x44BC2CF5AD770999ull);
+}
+
+}  // namespace
+}  // namespace tkc

@@ -76,6 +76,30 @@ run_one() {
     echo "!! --relabel=degree kappa differs from unrelabeled" >&2
     exit 1
   fi
+  echo "== $sanitizer: ingest + graph cache CLI =="
+  # Drive the mmap chunk parser and the .tkcg cache under the sanitizers:
+  # parallel chunked parse at 8 workers must match the serial parse row
+  # for row, and a cache round trip (build → read-through load) must
+  # serve the identical decomposition. The TSan leg sees the per-chunk
+  # tokenizer workers and the parallel Freeze scatter; ASan/UBSan cover
+  # the mmap lifetime and the checksum/structure validation on load.
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
+    --ingest-threads=8 > "$smoke_dir/kappa_ingest8.txt"
+  if ! diff <(grep -v '^#' "$smoke_dir/kappa_par.txt") \
+            <(grep -v '^#' "$smoke_dir/kappa_ingest8.txt"); then
+    echo "!! --ingest-threads=8 kappa differs from serial ingest" >&2
+    exit 1
+  fi
+  "$build_dir/tools/tkc" cache build "$smoke_dir/g.txt" \
+    --out="$smoke_dir/g.tkcg"
+  "$build_dir/tools/tkc" cache load "$smoke_dir/g.tkcg"
+  "$build_dir/tools/tkc" decompose "$smoke_dir/g.txt" --threads=4 \
+    --graph-cache="$smoke_dir/g.tkcg" > "$smoke_dir/kappa_cache.txt"
+  if ! diff <(grep -v '^#' "$smoke_dir/kappa_par.txt") \
+            <(grep -v '^#' "$smoke_dir/kappa_cache.txt"); then
+    echo "!! --graph-cache kappa differs from text ingest" >&2
+    exit 1
+  fi
   echo "== $sanitizer: engine replay CLI =="
   # Stream a generated event log through the versioned engine (DeltaCsr
   # overlay, batched maintenance, compaction, zero-copy snapshots) with
